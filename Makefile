@@ -1,0 +1,52 @@
+# PFTK reproduction — common development targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over every fuzz target.
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzDecode$$ -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzDecodeTcpdump -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzDecodeJSONL -fuzztime 30s
+	$(GO) test ./internal/analysis -fuzz FuzzInferLossEvents -fuzztime 30s
+
+# Regenerate every table and figure at the paper's campaign scale.
+experiments:
+	$(GO) run ./cmd/experiments -run all -out results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tcpfriendly
+	$(GO) run ./examples/validation
+	$(GO) run ./examples/modem
+	$(GO) run ./examples/shortflows
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf results

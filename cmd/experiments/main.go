@@ -1,0 +1,193 @@
+// Command experiments regenerates the paper's tables and figures from the
+// emulated measurement campaign. ASCII renderings go to stdout; with -out
+// every table and figure is also written as CSV for external plotting.
+//
+// Examples:
+//
+//	experiments -run table2
+//	experiments -run all -out results/
+//	experiments -run fig7 -hour 600        # abbreviated campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pftk/internal/experiments"
+	"pftk/internal/tablefmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the requested experiments against args, writing reports to
+// stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runID  = fs.String("run", "all", "experiment to run: "+strings.Join(experiments.IDs(), ", ")+", or all")
+		out    = fs.String("out", "", "directory for CSV exports (omit to skip)")
+		hour   = fs.Float64("hour", 3600, "duration of each '1-hour' trace in simulated seconds")
+		traces = fs.Int("traces", 100, "number of serial connections in the 100-s campaign")
+		short  = fs.Float64("short", 100, "duration of each short connection in seconds")
+		salt   = fs.Uint64("salt", 0, "random salt for all campaigns")
+		plot   = fs.Bool("plot", false, "render figures as ASCII plots (log-x) instead of range summaries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{
+		HourTraceDuration:  *hour,
+		ShortTraces:        *traces,
+		ShortTraceDuration: *short,
+		IntervalWidth:      100,
+		Salt:               *salt,
+	}
+
+	var reports []*experiments.Report
+	if *runID == "all" {
+		reports = experiments.RunAll(opts)
+	} else {
+		runner, err := experiments.Get(*runID)
+		if err != nil {
+			return err
+		}
+		reports = []*experiments.Report{runner(opts)}
+	}
+	var htmlBuf strings.Builder
+
+	for _, r := range reports {
+		fmt.Fprintf(stdout, "==== %s: %s ====\n\n", r.ID, r.Title)
+		for _, t := range r.Tables {
+			fmt.Fprint(stdout, t.ASCII())
+			fmt.Fprintln(stdout)
+		}
+		for _, f := range r.Figures {
+			if *plot {
+				fmt.Fprint(stdout, f.ASCIIPlot(tablefmt.PlotOptions{LogX: true}))
+			} else {
+				fmt.Fprint(stdout, f.Summary())
+			}
+			fmt.Fprintln(stdout)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(stdout, "note: %s\n", n)
+		}
+		fmt.Fprintln(stdout)
+		if *out != "" {
+			if err := export(*out, r); err != nil {
+				return err
+			}
+			appendHTML(&htmlBuf, r)
+		}
+	}
+	if *out != "" {
+		if err := writeHTMLReport(*out, htmlBuf.String()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "CSV, SVG and report.html written under %s\n", *out)
+	}
+	return nil
+}
+
+// appendHTML adds one report's tables (as preformatted text) and figures
+// (as inline SVG) to the HTML body.
+func appendHTML(b *strings.Builder, r *experiments.Report) {
+	fmt.Fprintf(b, "<h2 id=%q>%s: %s</h2>\n", r.ID, r.ID, htmlEscape(r.Title))
+	for _, t := range r.Tables {
+		fmt.Fprintf(b, "<pre>%s</pre>\n", htmlEscape(t.ASCII()))
+	}
+	for _, f := range r.Figures {
+		var svg strings.Builder
+		if err := f.WriteSVG(&svg, tablefmt.SVGOptions{LogX: figureWantsLogX(r.ID)}); err == nil {
+			b.WriteString(svg.String())
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(b, "<p><em>%s</em></p>\n", htmlEscape(n))
+	}
+}
+
+// figureWantsLogX: loss-rate axes are logarithmic; trace-number and
+// flow-size axes are linear.
+func figureWantsLogX(id string) bool {
+	switch id {
+	case "fig8", "fig9", "fig10", "shortflows":
+		return false
+	}
+	return true
+}
+
+// writeHTMLReport assembles the standalone report page.
+func writeHTMLReport(dir, body string) error {
+	page := "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">" +
+		"<title>PFTK reproduction report</title>" +
+		"<style>body{font-family:sans-serif;max-width:960px;margin:2em auto;padding:0 1em}" +
+		"pre{background:#f6f6f6;padding:0.8em;overflow-x:auto;font-size:12px}</style>" +
+		"</head><body>\n<h1>PFTK reproduction report</h1>\n" +
+		body + "</body></html>\n"
+	return os.WriteFile(filepath.Join(dir, "report.html"), []byte(page), 0o644)
+}
+
+// htmlEscape escapes HTML metacharacters.
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// export writes every table and figure of a report as CSV files named
+// <id>_table<i>.csv and <id>_fig<i>.csv.
+func export(dir string, r *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", r.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = t.WriteCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	for i, fig := range r.Figures {
+		path := filepath.Join(dir, fmt.Sprintf("%s_fig%d.csv", r.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = fig.WriteCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		svgPath := filepath.Join(dir, fmt.Sprintf("%s_fig%d.svg", r.ID, i))
+		sf, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		err = fig.WriteSVG(sf, tablefmt.SVGOptions{LogX: figureWantsLogX(r.ID)})
+		sf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

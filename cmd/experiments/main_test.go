@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fig12") || !strings.Contains(s, "markov") {
+		t.Errorf("report missing content:\n%s", s)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig13", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files exported")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "series,") {
+		t.Errorf("unexpected CSV header: %s", string(data[:50]))
+	}
+}
+
+func TestScaledCampaign(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-run", "table2", "-hour", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "durations scaled to 200s") {
+		t.Errorf("scale flag ignored:\n%s", out.String())
+	}
+}
+
+func TestSVGAndHTMLExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "r")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig12", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "fig12_fig0.svg"))
+	if err != nil {
+		t.Fatalf("svg missing: %v", err)
+	}
+	if !strings.Contains(string(svg), "<svg") || !strings.Contains(string(svg), "polyline") {
+		t.Error("svg malformed")
+	}
+	html, err := os.ReadFile(filepath.Join(dir, "report.html"))
+	if err != nil {
+		t.Fatalf("report.html missing: %v", err)
+	}
+	page := string(html)
+	for _, want := range []string{"<!DOCTYPE html>", "fig12", "<svg", "markov"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

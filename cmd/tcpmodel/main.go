@@ -1,0 +1,140 @@
+// Command tcpmodel evaluates the PFTK TCP throughput model from the
+// command line: single points, log-spaced curves, and the inverse
+// ("TCP-friendly") computation.
+//
+// Examples:
+//
+//	tcpmodel -rtt 0.2 -t0 2.0 -wm 12 -p 0.02
+//	tcpmodel -rtt 0.2 -t0 2.0 -wm 12 -curve 1e-4:0.5:50 -model all
+//	tcpmodel -rtt 0.2 -t0 2.0 -wm 12 -invert 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pftk"
+	"pftk/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// errUsage asks main to print usage and exit non-zero.
+var errUsage = fmt.Errorf("no action requested: pass -p, -curve or -invert")
+
+// run executes the tool against args, writing to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tcpmodel", flag.ContinueOnError)
+	var (
+		rtt    = fs.Float64("rtt", 0.2, "average round trip time in seconds")
+		t0     = fs.Float64("t0", 2.0, "average first timeout duration in seconds")
+		wm     = fs.Float64("wm", 0, "receiver window in packets (0 = unlimited)")
+		b      = fs.Int("b", 2, "packets acknowledged per ACK (delayed ACKs: 2)")
+		p      = fs.Float64("p", -1, "evaluate the models at this loss rate")
+		curve  = fs.String("curve", "", "sample a curve: pmin:pmax:points")
+		model  = fs.String("model", "all", "model: full, approx, tdonly, throughput, or all")
+		invert = fs.Float64("invert", -1, "find the loss rate achieving this rate (pkts/s)")
+		regime = fs.Bool("regime", false, "with -p: also report the operating regime and input sensitivities")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := pftk.Params{RTT: *rtt, T0: *t0, Wm: *wm, B: *b}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	models := map[string]pftk.Model{
+		"full":       pftk.ModelFull,
+		"approx":     pftk.ModelApprox,
+		"tdonly":     pftk.ModelTDOnly,
+		"throughput": pftk.ModelThroughput,
+	}
+	var selected []string
+	if *model == "all" {
+		selected = []string{"full", "approx", "tdonly", "throughput"}
+	} else {
+		if _, ok := models[*model]; !ok {
+			return fmt.Errorf("unknown model %q", *model)
+		}
+		selected = []string{*model}
+	}
+
+	switch {
+	case *invert >= 0:
+		lp, err := pftk.LossRateFor(*invert, params)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loss rate for %.3f pkts/s: p = %.6g\n", *invert, lp)
+		fmt.Fprintf(out, "check: B(%.6g) = %.3f pkts/s\n", lp, pftk.SendRate(lp, params))
+
+	case *curve != "":
+		pmin, pmax, n, err := parseCurve(*curve)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "p")
+		for _, name := range selected {
+			fmt.Fprintf(out, ",%s", name)
+		}
+		fmt.Fprintln(out)
+		curves := make([][]pftk.CurvePoint, len(selected))
+		for i, name := range selected {
+			curves[i] = pftk.Curve(models[name], params, pmin, pmax, n)
+		}
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(out, "%.6g", curves[0][j].P)
+			for i := range selected {
+				fmt.Fprintf(out, ",%.6g", curves[i][j].Rate)
+			}
+			fmt.Fprintln(out)
+		}
+
+	case *p >= 0:
+		fmt.Fprintf(out, "%s at p=%g:\n", params, *p)
+		for _, name := range selected {
+			fmt.Fprintf(out, "  %-12s %10.3f pkts/s\n", name, models[name].Rate(*p, params))
+		}
+		if *regime {
+			rg := core.ClassifyRegime(*p, params)
+			e := core.SendRateElasticities(*p, params)
+			fmt.Fprintf(out, "regime: %s\n", rg)
+			fmt.Fprintf(out, "elasticities (d log B / d log x): p %+0.2f, RTT %+0.2f, T0 %+0.2f, Wm %+0.2f\n",
+				e.P, e.RTT, e.T0, e.Wm)
+		}
+
+	default:
+		return errUsage
+	}
+	return nil
+}
+
+func parseCurve(s string) (pmin, pmax float64, n int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("curve spec must be pmin:pmax:points, got %q", s)
+	}
+	if pmin, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return
+	}
+	if pmax, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return
+	}
+	n, err = strconv.Atoi(parts[2])
+	return
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpmodel:", err)
+	os.Exit(1)
+}

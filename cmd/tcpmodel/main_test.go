@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPointEvaluation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rtt", "0.2", "-t0", "2", "-wm", "12", "-p", "0.02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"full", "approx", "tdonly", "throughput", "pkts/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSingleModelSelection(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-p", "0.02", "-model", "full"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "full") || strings.Contains(s, "tdonly") {
+		t.Errorf("model selection failed:\n%s", s)
+	}
+}
+
+func TestCurveOutputIsCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rtt", "0.2", "-t0", "2", "-curve", "1e-3:0.1:5", "-model", "full"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want header + 5 points:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "p,full" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 2 {
+			t.Errorf("bad CSV row %q", l)
+		}
+	}
+}
+
+func TestInvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rtt", "0.2", "-t0", "2", "-invert", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loss rate for 20.000") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no action
+		{"-p", "0.02", "-rtt", "0"}, // invalid params
+		{"-p", "0.02", "-model", "bogus"},
+		{"-curve", "nonsense", "-model", "full"},
+		{"-curve", "0.5:0.1:x"},
+		{"-invert", "1e12", "-wm", "8"}, // unreachable rate
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestParseCurve(t *testing.T) {
+	pmin, pmax, n, err := parseCurve("1e-4:0.5:50")
+	if err != nil || pmin != 1e-4 || pmax != 0.5 || n != 50 {
+		t.Errorf("parseCurve: %g %g %d %v", pmin, pmax, n, err)
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "1:2:3:4"} {
+		if _, _, _, err := parseCurve(bad); err == nil {
+			t.Errorf("parseCurve(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRegimeFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rtt", "0.2", "-t0", "2", "-wm", "6", "-p", "0.001", "-regime"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "regime: window-limited") {
+		t.Errorf("regime missing:\n%s", s)
+	}
+	if !strings.Contains(s, "elasticities") {
+		t.Errorf("elasticities missing:\n%s", s)
+	}
+}

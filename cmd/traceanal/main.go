@@ -1,0 +1,163 @@
+// Command traceanal is the reproduction of the paper's trace-analysis
+// programs: it reads a sender-side trace file, classifies every loss
+// indication (TD vs timeout sequence, with backoff depth), estimates p,
+// the Karn-filtered RTT and the mean T0, splits the trace into
+// fixed-width intervals, and compares the measured packet counts with the
+// predictions of the full, approximate and TD-only models.
+//
+// Example:
+//
+//	tracesim -dur 3600 -o trace.pftk && traceanal trace.pftk
+//	traceanal -dupthresh 2 -interval 100 linux-sender.pftk
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pftk"
+	"pftk/internal/analysis"
+	"pftk/internal/core"
+	"pftk/internal/tablefmt"
+	"pftk/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the analysis against args, writing the report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceanal", flag.ContinueOnError)
+	var (
+		dupThresh = fs.Int("dupthresh", 3, "sender's duplicate-ACK threshold (Linux-era stacks: 2)")
+		interval  = fs.Float64("interval", 100, "analysis interval width in seconds")
+		wm        = fs.Float64("wm", 0, "receiver window for model predictions (0 = unlimited)")
+		format    = fs.String("format", "binary", "input format: binary, jsonl or tcpdump")
+		flight    = fs.Bool("flight", false, "also report the reconstructed flight statistics and idle fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceanal [flags] <trace-file>")
+	}
+
+	tr, err := readTrace(fs.Arg(0), *format)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+
+	events := analysis.InferLossEvents(tr, *dupThresh)
+	sum := analysis.Summarize(tr, events)
+
+	fmt.Fprintln(out, "== Trace summary (Table II row) ==")
+	t := tablefmt.New("Pkts", "Loss", "TD", "T0", "T1", "T2", "T3", "T4", "T5+", "p", "RTT", "TOdur")
+	t.AddRow(
+		fmt.Sprintf("%d", sum.PacketsSent),
+		fmt.Sprintf("%d", sum.LossIndications),
+		fmt.Sprintf("%d", sum.TD),
+		fmt.Sprintf("%d", sum.TimeoutHist[0]),
+		fmt.Sprintf("%d", sum.TimeoutHist[1]),
+		fmt.Sprintf("%d", sum.TimeoutHist[2]),
+		fmt.Sprintf("%d", sum.TimeoutHist[3]),
+		fmt.Sprintf("%d", sum.TimeoutHist[4]),
+		fmt.Sprintf("%d", sum.TimeoutHist[5]),
+		fmt.Sprintf("%.4f", sum.P),
+		fmt.Sprintf("%.3f", sum.MeanRTT),
+		fmt.Sprintf("%.3f", sum.MeanT0),
+	)
+	fmt.Fprint(out, t.ASCII())
+
+	params := pftk.Params{RTT: sum.MeanRTT, T0: sum.MeanT0, Wm: *wm, B: 2}
+	if params.Validate() != nil {
+		fmt.Fprintln(out, "\n(no usable RTT/T0 measurements; skipping model comparison)")
+		return nil
+	}
+
+	ivs := analysis.Intervals(tr, events, *interval)
+	fmt.Fprintf(out, "\n== Intervals (%.0f s) ==\n", *interval)
+	it := tablefmt.New("Start", "Pkts", "Loss", "p", "Category", "N_full", "N_approx", "N_tdonly")
+	for _, iv := range ivs {
+		it.AddRow(
+			fmt.Sprintf("%.0f", iv.Start),
+			fmt.Sprintf("%d", iv.Packets),
+			fmt.Sprintf("%d", iv.LossIndications),
+			fmt.Sprintf("%.4f", iv.P()),
+			iv.Category(),
+			fmt.Sprintf("%.0f", analysis.PredictPackets(iv, core.ModelFull, params)),
+			fmt.Sprintf("%.0f", analysis.PredictPackets(iv, core.ModelApprox, params)),
+			fmt.Sprintf("%.0f", analysis.PredictPackets(iv, core.ModelTDOnly, params)),
+		)
+	}
+	fmt.Fprint(out, it.ASCII())
+
+	fmt.Fprintln(out, "\n== Average error (Section III metric) ==")
+	et := tablefmt.New("Model", "Average error")
+	for _, m := range []core.Model{core.ModelFull, core.ModelApprox, core.ModelTDOnly} {
+		et.AddRow(m.String(), fmt.Sprintf("%.3f", analysis.ModelError(ivs, m, params)))
+	}
+	fmt.Fprint(out, et.ASCII())
+
+	if rho := analysis.RoundCorrelation(tr); rho == rho { // not NaN
+		fmt.Fprintf(out, "\nRTT-window correlation: %.3f\n", rho)
+	}
+
+	if *flight {
+		series := analysis.FlightSeries(tr)
+		fs := analysis.SummarizeFlight(series)
+		idleThresh := 3 * sum.MeanRTT
+		if idleThresh <= 0 {
+			idleThresh = 0.5
+		}
+		fmt.Fprintln(out, "\n== Flight reconstruction (wire-level) ==")
+		ft := tablefmt.New("Metric", "Value")
+		ft.AddRow("samples", fmt.Sprintf("%d", len(series)))
+		ft.AddRow("mean flight", fmt.Sprintf("%.2f pkts", fs.Mean))
+		ft.AddRow("peak flight", fmt.Sprintf("%d pkts", fs.Peak))
+		ft.AddRow("idle fraction", fmt.Sprintf("%.3f (gaps > %.2fs)", analysis.IdleFraction(tr, idleThresh), idleThresh))
+		fmt.Fprint(out, ft.ASCII())
+	}
+	return nil
+}
+
+func readTrace(path string, format string) (trace.Trace, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "jsonl":
+		return trace.DecodeJSONL(r)
+	case "tcpdump":
+		return trace.DecodeTcpdump(r)
+	case "binary":
+		tr, err := trace.Decode(r)
+		if errors.Is(err, trace.ErrBadMagic) {
+			return nil, fmt.Errorf("%w (text trace? try -format jsonl or -format tcpdump)", err)
+		}
+		return tr, err
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceanal:", err)
+	os.Exit(1)
+}

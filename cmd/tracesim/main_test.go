@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pftk/internal/trace"
+)
+
+func TestSummaryOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "30", "-loss", "0.02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"send rate", "throughput", "loss indication rate", "trace records"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "wrote") {
+		t.Error("should not write a file without -o")
+	}
+}
+
+func TestWritesBinaryTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pftk")
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "30", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(tr) == 0 {
+		t.Error("empty trace written")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("invalid trace: %v", err)
+	}
+}
+
+func TestWritesJSONLTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "20", "-format", "jsonl", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.DecodeJSONL(f)
+	if err != nil || len(tr) == 0 {
+		t.Fatalf("jsonl decode: %v (%d records)", err, len(tr))
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.x")
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "5", "-format", "yaml", "-o", path}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-dur", "30", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dur", "30", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}

@@ -1,0 +1,84 @@
+package pftk_test
+
+import (
+	"fmt"
+
+	"pftk"
+)
+
+// The headline computation: the paper's full model at a typical operating
+// point.
+func ExampleSendRate() {
+	params := pftk.NewParams(0.2 /* RTT s */, 2.0 /* T0 s */, 12 /* Wm pkts */)
+	fmt.Printf("%.2f pkts/s\n", pftk.SendRate(0.02, params))
+	// Output: 20.87 pkts/s
+}
+
+// Comparing the full model with the TD-only baseline shows why modeling
+// timeouts matters: at 10% loss the baseline is several times too
+// optimistic.
+func ExampleSendRateTDOnly() {
+	params := pftk.NewParams(0.2, 2.0, 0)
+	full := pftk.SendRate(0.1, params)
+	tdOnly := pftk.SendRateTDOnly(0.1, params)
+	fmt.Printf("full %.1f vs TD-only %.1f pkts/s (%.1fx)\n", full, tdOnly, tdOnly/full)
+	// Output: full 4.6 vs TD-only 13.7 pkts/s (3.0x)
+}
+
+// Throughput counts only the data that reaches the receiver; it sits
+// below the send rate and the gap widens with loss.
+func ExampleThroughput() {
+	params := pftk.NewParams(0.47, 3.2, 12) // Fig. 13 parameters
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		fmt.Printf("p=%.2f: B=%.2f T=%.2f\n", p,
+			pftk.SendRate(p, params), pftk.Throughput(p, params))
+	}
+	// Output:
+	// p=0.01: B=15.56 T=14.72
+	// p=0.10: B=2.46 T=2.08
+	// p=0.30: B=0.66 T=0.48
+}
+
+// LossRateFor inverts the model: the loss budget for a target rate — the
+// provisioning question behind TCP-friendly rate control.
+func ExampleLossRateFor() {
+	params := pftk.NewParams(0.2, 2.0, 0)
+	p, err := pftk.LossRateFor(20, params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("20 pkts/s tolerates p = %.4f\n", p)
+	// Output: 20 pkts/s tolerates p = 0.0211
+}
+
+// Simulate runs a packet-level TCP Reno transfer over an emulated lossy
+// path; Analyze applies the paper's trace-analysis methodology to the
+// resulting sender-side trace.
+func ExampleSimulate() {
+	res := pftk.Simulate(pftk.SimConfig{
+		RTT: 0.1, LossRate: 0.02, Wm: 16, MinRTO: 1,
+		Duration: 500, Seed: 42,
+	})
+	sum := pftk.Analyze(res.Trace, 3)
+	fmt.Printf("loss indications: %d (TD %d, timeout sequences %d)\n",
+		sum.LossIndications, sum.TD, sum.TimeoutSequences())
+	fmt.Printf("measured p: %.3f\n", sum.P)
+	// Output:
+	// loss indications: 350 (TD 260, timeout sequences 90)
+	// measured p: 0.019
+}
+
+// ShortFlowTime extends the model to finite transfers: small flows are
+// dominated by slow start and never reach the steady-state rate.
+func ExampleShortFlowTime() {
+	params := pftk.NewParams(0.1, 1.2, 64)
+	for _, n := range []int{10, 1000} {
+		rate := pftk.ShortFlowRate(n, 0.02, params)
+		fmt.Printf("%4d packets: %.0f%% of steady state\n",
+			n, 100*rate/pftk.SendRate(0.02, params))
+	}
+	// Output:
+	//   10 packets: 25% of steady state
+	// 1000 packets: 100% of steady state
+}

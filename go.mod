@@ -1,0 +1,3 @@
+module pftk
+
+go 1.22

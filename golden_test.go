@@ -1,0 +1,54 @@
+package pftk
+
+// Golden regression values: the model evaluated at the parameter points
+// the paper names in its figure captions. These pin the arithmetic of the
+// whole eq. (32)/(37) stack — any change to the formulas that moves these
+// numbers is a regression, not a refactor.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGoldenFigureCaptions(t *testing.T) {
+	cases := []struct {
+		name string
+		pr   Params
+		p    float64
+		fn   func(float64, Params) float64
+		want string // %.6g
+	}{
+		// Fig. 12/13 parameters: RTT=0.47, T0=3.2, Wm=12.
+		{"fig12 B(0.01)", NewParams(0.47, 3.2, 12), 0.01, SendRate, "15.5585"},
+		{"fig12 B(0.1)", NewParams(0.47, 3.2, 12), 0.1, SendRate, "2.4592"},
+		{"fig13 T(0.01)", NewParams(0.47, 3.2, 12), 0.01, Throughput, "14.7193"},
+		{"fig13 T(0.1)", NewParams(0.47, 3.2, 12), 0.1, Throughput, "2.07773"},
+		// Fig. 7(a) caption: manic-baskerville, RTT=0.243, T0=2.495, Wm=6.
+		{"fig7a B(0.0126)", NewParams(0.243, 2.495, 6), 0.0126, SendRate, "15.7946"},
+		// Fig. 7(c): pif-manic, RTT=0.257, T0=1.454, Wm=33.
+		{"fig7c B(0.0415)", NewParams(0.257, 1.454, 33), 0.0415, SendRate, "10.8119"},
+		// Fig. 11 caption: manic-p5, RTT=4.726, T0=18.407, Wm=22.
+		{"fig11 B(0.02)", NewParams(4.726, 18.407, 22), 0.02, SendRate, "1.08019"},
+		// Unconstrained approximations.
+		{"approx B(0.02)", Params{RTT: 0.2, T0: 2, B: 2}, 0.02, SendRateApprox, "21.0327"},
+		{"tdonly B(0.02)", Params{RTT: 0.2, T0: 2, B: 2}, 0.02, SendRateTDOnly, "30.6186"},
+	}
+	for _, c := range cases {
+		got := fmt.Sprintf("%.6g", c.fn(c.p, c.pr))
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGoldenIntermediates(t *testing.T) {
+	check := func(name string, got float64, want string) {
+		if s := fmt.Sprintf("%.6g", got); s != want {
+			t.Errorf("%s = %s, want %s", name, s, want)
+		}
+	}
+	pr := NewParams(0.2, 2.0, 12)
+	check("full B(0.02) wm12", SendRate(0.02, pr), "20.8728")
+	check("full B(0.2) wm12", SendRate(0.2, pr), "2.01869")
+	check("friendly(0) wm12", FriendlyRate(0, pr), "60")
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"pftk/internal/stats"
+	"pftk/internal/trace"
+)
+
+// Wire-level flight/window reconstruction — the tcptrace-style view the
+// paper's Fig. 1/3/5 sketches: from sends, retransmissions and
+// cumulative ACKs alone, rebuild the outstanding-data curve over time.
+
+// FlightSample is one point of the reconstructed outstanding-data curve.
+type FlightSample struct {
+	// Time of the event that changed the flight size.
+	Time float64
+	// Flight is the number of unacknowledged packets right after the
+	// event.
+	Flight int
+}
+
+// FlightSeries reconstructs the outstanding-packet count over time from
+// wire-level records: each original transmission raises it, each
+// cumulative ACK that advances lowers it. Retransmissions do not change
+// the count (the packet was already outstanding). The result is exactly
+// the sawtooth the paper's window-evolution figures sketch, up to the
+// cwnd-vs-flight distinction.
+func FlightSeries(tr trace.Trace) []FlightSample {
+	var out []FlightSample
+	var maxSent, acked uint64
+	for _, r := range tr {
+		switch r.Kind {
+		case trace.KindSend:
+			if r.Seq > maxSent {
+				maxSent = r.Seq
+			}
+		case trace.KindAck:
+			if r.Ack > acked+1 {
+				acked = r.Ack - 1
+			} else if r.Ack >= 1 && r.Ack-1 > acked {
+				acked = r.Ack - 1
+			} else {
+				continue // duplicate ACK: no flight change
+			}
+		default:
+			continue
+		}
+		flight := int(maxSent - acked)
+		if flight < 0 {
+			flight = 0
+		}
+		if n := len(out); n > 0 && out[n-1].Time == r.Time {
+			out[n-1].Flight = flight
+			continue
+		}
+		out = append(out, FlightSample{Time: r.Time, Flight: flight})
+	}
+	return out
+}
+
+// FlightStats summarizes a reconstructed flight series with time-weighted
+// statistics: mean, peak, and the fraction of time spent with an empty
+// pipe (flight == 0, i.e. stalled — usually inside RTO waits).
+type FlightStats struct {
+	Mean        float64
+	Peak        int
+	StalledFrac float64
+}
+
+// SummarizeFlight computes time-weighted statistics over the series,
+// carrying each sample's value until the next sample.
+func SummarizeFlight(series []FlightSample) FlightStats {
+	var fs FlightStats
+	if len(series) < 2 {
+		if len(series) == 1 {
+			fs.Mean = float64(series[0].Flight)
+			fs.Peak = series[0].Flight
+		}
+		return fs
+	}
+	var area, stalled, total float64
+	for i := 1; i < len(series); i++ {
+		dt := series[i].Time - series[i-1].Time
+		v := series[i-1].Flight
+		area += dt * float64(v)
+		if v == 0 {
+			stalled += dt
+		}
+		total += dt
+		if v > fs.Peak {
+			fs.Peak = v
+		}
+	}
+	if last := series[len(series)-1].Flight; last > fs.Peak {
+		fs.Peak = last
+	}
+	if total > 0 {
+		fs.Mean = area / total
+		fs.StalledFrac = stalled / total
+	}
+	return fs
+}
+
+// IdleFraction returns the fraction of the trace's duration spent in
+// transmission gaps longer than threshold seconds — the wire-level
+// signature of RTO waits (a sender with data and window never pauses
+// longer than an RTT otherwise). The contribution of each qualifying gap
+// is the part exceeding the threshold.
+func IdleFraction(tr trace.Trace, threshold float64) float64 {
+	var lastTx float64
+	started := false
+	var idle float64
+	for _, r := range tr {
+		if r.Kind != trace.KindSend && r.Kind != trace.KindRetransmit {
+			continue
+		}
+		if started {
+			if gap := r.Time - lastTx; gap > threshold {
+				idle += gap - threshold
+			}
+		}
+		lastTx = r.Time
+		started = true
+	}
+	d := tr.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return idle / d
+}
+
+// FlightAtRoundSamples pairs the reconstructed flight with the trace's
+// round samples, returning the correlation between the two independent
+// views — a consistency check between the ground-truth RoundSample
+// records and the wire-level reconstruction.
+func FlightAtRoundSamples(tr trace.Trace) float64 {
+	series := FlightSeries(tr)
+	if len(series) == 0 {
+		return 0
+	}
+	var recon, truth []float64
+	si := 0
+	for _, r := range tr.Kind(trace.KindRoundSample) {
+		for si+1 < len(series) && series[si+1].Time <= r.Time {
+			si++
+		}
+		recon = append(recon, float64(series[si].Flight))
+		truth = append(truth, float64(r.Seq))
+	}
+	return stats.Correlation(recon, truth)
+}

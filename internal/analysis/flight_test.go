@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"pftk/internal/netem"
+	"pftk/internal/reno"
+	"pftk/internal/sim"
+	"pftk/internal/trace"
+)
+
+func TestFlightSeriesHandBuilt(t *testing.T) {
+	tr := trace.Trace{
+		{Time: 0.0, Kind: trace.KindSend, Seq: 1},
+		{Time: 0.1, Kind: trace.KindSend, Seq: 2},
+		{Time: 0.2, Kind: trace.KindSend, Seq: 3},
+		{Time: 0.5, Kind: trace.KindAck, Ack: 3}, // 1,2 acked: flight 1
+		{Time: 0.6, Kind: trace.KindAck, Ack: 3}, // dup: no change
+		{Time: 0.8, Kind: trace.KindRetransmit, Seq: 3},
+		{Time: 1.0, Kind: trace.KindAck, Ack: 4}, // all acked: flight 0
+	}
+	s := FlightSeries(tr)
+	want := []FlightSample{
+		{0.0, 1}, {0.1, 2}, {0.2, 3}, {0.5, 1}, {1.0, 0},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("series = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestFlightSeriesCoalescesSimultaneous(t *testing.T) {
+	tr := trace.Trace{
+		{Time: 0, Kind: trace.KindSend, Seq: 1},
+		{Time: 0, Kind: trace.KindSend, Seq: 2},
+		{Time: 0, Kind: trace.KindSend, Seq: 3},
+	}
+	s := FlightSeries(tr)
+	if len(s) != 1 || s[0].Flight != 3 {
+		t.Errorf("series = %v, want one sample of flight 3", s)
+	}
+}
+
+func TestSummarizeFlight(t *testing.T) {
+	series := []FlightSample{
+		{0, 2}, // 2 packets for 1s
+		{1, 4}, // 4 packets for 1s
+		{2, 0}, // stalled for 2s
+		{4, 6}, // terminal sample
+	}
+	fs := SummarizeFlight(series)
+	// area = 2*1 + 4*1 + 0*2 = 6 over 4s
+	if math.Abs(fs.Mean-1.5) > 1e-12 {
+		t.Errorf("mean = %g, want 1.5", fs.Mean)
+	}
+	if fs.Peak != 6 {
+		t.Errorf("peak = %d, want 6", fs.Peak)
+	}
+	if math.Abs(fs.StalledFrac-0.5) > 1e-12 {
+		t.Errorf("stalled = %g, want 0.5", fs.StalledFrac)
+	}
+}
+
+func TestSummarizeFlightDegenerate(t *testing.T) {
+	if fs := SummarizeFlight(nil); fs.Mean != 0 || fs.Peak != 0 {
+		t.Errorf("empty: %+v", fs)
+	}
+	if fs := SummarizeFlight([]FlightSample{{1, 7}}); fs.Mean != 7 || fs.Peak != 7 {
+		t.Errorf("single: %+v", fs)
+	}
+}
+
+func TestFlightReconstructionMatchesGroundTruth(t *testing.T) {
+	// The wire-level reconstruction must agree with the sender's own
+	// flight bookkeeping (as logged in RoundSample records).
+	cfg := reno.ConnConfig{
+		Sender: reno.SenderConfig{RWnd: 16, MinRTO: 1},
+		Path:   netem.SymmetricPath(0.05, netem.NewBernoulli(0.02, sim.NewRNG(9))),
+	}
+	res := reno.RunConnection(cfg, 600)
+	// The ground-truth flight was captured when the timed segment was
+	// sent, while the RoundSample record lands an RTT later (at the
+	// ACK), so the two views are offset by one RTT of window evolution;
+	// they must still correlate strongly.
+	rho := FlightAtRoundSamples(res.Trace)
+	if math.IsNaN(rho) || rho < 0.8 {
+		t.Errorf("reconstruction correlation = %g, want > 0.8", rho)
+	}
+	// Peak flight never exceeds the advertised window.
+	fs := SummarizeFlight(FlightSeries(res.Trace))
+	if fs.Peak > 16 {
+		t.Errorf("reconstructed peak %d exceeds Wm=16", fs.Peak)
+	}
+	if fs.Mean <= 0 {
+		t.Error("mean flight should be positive")
+	}
+}
+
+func TestIdleFractionGrowsWithLoss(t *testing.T) {
+	frac := func(drop float64) float64 {
+		cfg := reno.ConnConfig{
+			Sender: reno.SenderConfig{RWnd: 8, MinRTO: 1},
+			Path:   netem.SymmetricPath(0.05, netem.NewBernoulli(drop, sim.NewRNG(17))),
+		}
+		res := reno.RunConnection(cfg, 1000)
+		// Gaps beyond 0.3s (3 RTTs) signal RTO waits.
+		return IdleFraction(res.Trace, 0.3)
+	}
+	low, high := frac(0.01), frac(0.15)
+	if high <= low {
+		t.Errorf("idle fraction should grow with loss: %g vs %g", low, high)
+	}
+	if high < 0.2 {
+		t.Errorf("at 15%% loss the sender should idle in RTO waits a lot, got %g", high)
+	}
+}
+
+func TestIdleFractionHandBuilt(t *testing.T) {
+	tr := trace.Trace{
+		{Time: 0, Kind: trace.KindSend, Seq: 1},
+		{Time: 1, Kind: trace.KindSend, Seq: 2},  // gap 1.0 > 0.5: idle 0.5
+		{Time: 1.2, Kind: trace.KindAck, Ack: 3}, // acks don't count
+		{Time: 1.4, Kind: trace.KindRetransmit, Seq: 2},
+		{Time: 2.0, Kind: trace.KindSend, Seq: 3}, // gap 0.6: idle 0.1
+	}
+	got := IdleFraction(tr, 0.5)
+	if math.Abs(got-0.6/2.0) > 1e-12 {
+		t.Errorf("idle fraction = %g, want 0.3", got)
+	}
+	if IdleFraction(nil, 0.5) != 0 {
+		t.Error("empty trace should be 0")
+	}
+}

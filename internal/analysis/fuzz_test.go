@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"testing"
+
+	"pftk/internal/trace"
+)
+
+// FuzzInferLossEvents drives the wire-level inference with arbitrary
+// record sequences: it must never panic and its outputs must satisfy the
+// structural invariants (non-negative counts, timeout sequences of length
+// >= 1, events in time order).
+func FuzzInferLossEvents(f *testing.F) {
+	f.Add([]byte{1, 1, 3, 2, 3, 2, 2}, uint8(3))
+	f.Add([]byte{1, 2, 2, 2}, uint8(2))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, kinds []byte, thresh uint8) {
+		// Build a structurally valid trace from the fuzzed kind bytes;
+		// times increase, seq/ack values cycle through a small range so
+		// dupACK runs and retransmissions actually occur.
+		var tr trace.Trace
+		now := 0.0
+		var seq, ack uint64 = 1, 1
+		for i, kb := range kinds {
+			if i > 4096 {
+				break
+			}
+			now += float64(kb%7) / 10
+			switch kb % 4 {
+			case 0:
+				seq++
+				tr = append(tr, trace.Record{Time: now, Kind: trace.KindSend, Seq: seq})
+			case 1:
+				tr = append(tr, trace.Record{Time: now, Kind: trace.KindRetransmit, Seq: seq, Val: float64(kb % 2)})
+			case 2:
+				if kb%8 >= 4 && ack < seq {
+					ack++
+				}
+				tr = append(tr, trace.Record{Time: now, Kind: trace.KindAck, Ack: ack})
+			case 3:
+				tr = append(tr, trace.Record{Time: now, Kind: trace.KindRoundSample, Seq: seq % 16, Val: 0.1})
+			}
+		}
+		events := InferLossEvents(tr, int(thresh%6))
+		prev := -1.0
+		for i, e := range events {
+			if e.Time < prev {
+				t.Errorf("event %d out of order", i)
+			}
+			prev = e.Time
+			if e.Timeout && e.NumTimeouts < 1 {
+				t.Errorf("event %d: timeout sequence of length %d", i, e.NumTimeouts)
+			}
+			if !e.Timeout && e.NumTimeouts != 0 {
+				t.Errorf("event %d: TD with timeout count %d", i, e.NumTimeouts)
+			}
+			if e.FirstTimeoutDur < 0 {
+				t.Errorf("event %d: negative timeout duration", i)
+			}
+		}
+		// Summarize and the interval splitter must digest whatever the
+		// inference produced.
+		sum := Summarize(tr, events)
+		if sum.LossIndications != len(events) {
+			t.Errorf("summary counts %d events, inference produced %d", sum.LossIndications, len(events))
+		}
+		_ = Intervals(tr, events, 10)
+		_ = KarnRTTSamples(tr)
+		_ = FlightSeries(tr)
+	})
+}

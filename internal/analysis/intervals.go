@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pftk/internal/core"
+	"pftk/internal/stats"
+	"pftk/internal/trace"
+)
+
+// Interval is one fixed-width slice of a trace — the paper divides each
+// 1-hour trace into 36 consecutive 100-second intervals and plots, for
+// each, the number of packets sent against the observed frequency of loss
+// indications.
+type Interval struct {
+	// Start and End bound the interval in trace time.
+	Start, End float64
+	// Packets is the number of transmissions in the interval.
+	Packets int
+	// LossIndications counts loss events whose Time falls inside.
+	LossIndications int
+	// MaxBackoff is the deepest timeout backoff seen: -1 if the
+	// interval had no timeouts (category "TD"), 0 if only single
+	// timeouts ("T0"), 1 if a double timeout occurred ("T1"), ...
+	MaxBackoff int
+}
+
+// P returns the interval's observed loss-indication frequency.
+func (iv Interval) P() float64 {
+	if iv.Packets == 0 {
+		return 0
+	}
+	return float64(iv.LossIndications) / float64(iv.Packets)
+}
+
+// Category returns the paper's interval classification label: "TD" for
+// intervals without timeouts, "T0" for intervals with at least one single
+// timeout but no backoff, "T1" for a single exponential backoff, and so
+// on.
+func (iv Interval) Category() string {
+	if iv.MaxBackoff < 0 {
+		return "TD"
+	}
+	return fmt.Sprintf("T%d", iv.MaxBackoff)
+}
+
+// Intervals splits a trace into consecutive width-second intervals.
+// Intervals with zero packets are kept (they carry information about
+// stalls) but contribute no observations to error metrics.
+func Intervals(tr trace.Trace, events []LossEvent, width float64) []Interval {
+	if width <= 0 || len(tr) == 0 {
+		return nil
+	}
+	end := tr[len(tr)-1].Time
+	n := int(end / width)
+	if float64(n)*width < end {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	out := make([]Interval, n)
+	for i := range out {
+		out[i] = Interval{Start: float64(i) * width, End: float64(i+1) * width, MaxBackoff: -1}
+	}
+	idx := func(t float64) int {
+		i := int(t / width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	for _, r := range tr {
+		if r.Kind == trace.KindSend || r.Kind == trace.KindRetransmit {
+			out[idx(r.Time)].Packets++
+		}
+	}
+	for _, e := range events {
+		iv := &out[idx(e.Time)]
+		iv.LossIndications++
+		if d := e.BackoffDepth(); d > iv.MaxBackoff {
+			iv.MaxBackoff = d
+		}
+	}
+	return out
+}
+
+// PredictPackets returns the number of packets the given model predicts
+// for an interval: B(p_observed) * interval length, as in Section III.
+func PredictPackets(iv Interval, m core.Model, pr core.Params) float64 {
+	return m.Rate(iv.P(), pr) * (iv.End - iv.Start)
+}
+
+// ModelError computes the paper's average error of a model over a set of
+// intervals:
+//
+//	Σ |N_predicted − N_observed| / N_observed  /  #observations
+//
+// Intervals without packets are skipped.
+func ModelError(ivs []Interval, m core.Model, pr core.Params) float64 {
+	var pred, obs []float64
+	for _, iv := range ivs {
+		if iv.Packets == 0 {
+			continue
+		}
+		pred = append(pred, PredictPackets(iv, m, pr))
+		obs = append(obs, float64(iv.Packets))
+	}
+	return stats.AverageError(pred, obs)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Boundary-value coverage for the model building blocks: p = 0, p = 1 and
+// degenerate windows must all behave as documented, since the experiment
+// harness evaluates the model across the entire measured range.
+
+func TestBuildingBlockBoundaries(t *testing.T) {
+	if !math.IsInf(EW(0, 2), 1) || !math.IsInf(EX(0, 2), 1) || !math.IsInf(EY(0, 2), 1) {
+		t.Error("E[W], E[X], E[Y] must diverge at p=0")
+	}
+	if !math.IsInf(EWSmallP(0, 2), 1) || !math.IsInf(EXSmallP(0, 2), 1) {
+		t.Error("small-p asymptotes must diverge at p=0")
+	}
+	if !math.IsInf(EZTO(1, 3.2), 1) {
+		t.Error("E[Z^TO] must diverge at p=1")
+	}
+	if got := EY(1, 2); got != EW(1, 2) {
+		t.Errorf("E[Y] at p=1 should reduce to E[W]: %g vs %g", got, EW(1, 2))
+	}
+}
+
+func TestAProbCProbEdges(t *testing.T) {
+	// Out-of-range arguments return 0.
+	for _, c := range []struct{ w, k int }{{0, 0}, {5, -1}, {5, 6}} {
+		if got := AProb(0.1, c.w, c.k); got != 0 {
+			t.Errorf("AProb(%d,%d) = %g, want 0", c.w, c.k, got)
+		}
+	}
+	if AProb(0, 5, 2) != 0 {
+		t.Error("AProb at p=0 conditions on an impossible event: want 0")
+	}
+	for _, c := range []struct{ n, m int }{{0, 0}, {5, -1}, {5, 6}} {
+		if got := CProb(0.1, c.n, c.m); got != 0 {
+			t.Errorf("CProb(%d,%d) = %g, want 0", c.n, c.m, got)
+		}
+	}
+}
+
+func TestQHatApproxEdges(t *testing.T) {
+	if QHatApprox(0) != 1 || QHatApprox(-2) != 1 {
+		t.Error("non-positive windows are certain timeouts")
+	}
+	if QHatApprox(2) != 1 {
+		t.Error("w=2 should saturate at 1")
+	}
+	if got := QHatApprox(12); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("QHatApprox(12) = %g, want 0.25", got)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	lim := NewParams(0.2, 2.0, 8)
+	// At p=0, window-limited connections still time out with Q̂(Wm).
+	if got, want := Q(0, lim), QHat(0, 8.0); got != want {
+		t.Errorf("Q(0) limited = %g, want %g", got, want)
+	}
+	un := Params{RTT: 0.2, T0: 2, Wm: 0, B: 2}
+	if Q(0, un) != 0 {
+		t.Error("Q(0) unconstrained should be 0")
+	}
+	// Window cap engages when E[Wu] > Wm.
+	if got, want := Q(0.001, lim), QHat(0.001, 8.0); got != want {
+		t.Errorf("Q capped = %g, want %g", got, want)
+	}
+	// Uncapped regime uses E[W].
+	p := 0.2
+	if got, want := Q(p, lim), QHat(p, EW(p, 2)); got != want {
+		t.Errorf("Q uncapped = %g, want %g", got, want)
+	}
+}
+
+func TestSendRateTDOnlyEdges(t *testing.T) {
+	if !math.IsInf(SendRateTDOnly(0, 0.2, 2), 1) {
+		t.Error("TD-only at p=0 should be +Inf")
+	}
+	if got := SendRateTDOnly(1, 0.2, 2); got <= 0 || math.IsInf(got, 0) {
+		t.Errorf("TD-only at p=1 = %g, want finite positive (sqrt form)", got)
+	}
+	if !math.IsInf(SendRateTDOnlyExact(0, 0.2, 2), 1) {
+		t.Error("exact TD-only at p=0 should be +Inf")
+	}
+}
+
+func TestSendRateNoTimeoutBranches(t *testing.T) {
+	lim := NewParams(0.25, 2.0, 8)
+	un := Params{RTT: 0.25, T0: 2, Wm: 0, B: 2}
+	// p=0 boundaries.
+	if got := SendRateNoTimeout(0, lim); got != 8/0.25 {
+		t.Errorf("no-timeout B(0) limited = %g", got)
+	}
+	if !math.IsInf(SendRateNoTimeout(0, un), 1) {
+		t.Error("no-timeout B(0) unconstrained should be +Inf")
+	}
+	// Unconstrained regime (E[W] < Wm) matches the exact TD model.
+	p := 0.2
+	if got, want := SendRateNoTimeout(p, lim), SendRateTDOnlyExact(p, lim.RTT, 2); got != want {
+		t.Errorf("no-timeout uncapped = %g, want %g", got, want)
+	}
+	// Window-limited branch: finite, above full model (no timeout term),
+	// below the ceiling.
+	p = 0.002
+	got := SendRateNoTimeout(p, lim)
+	if got > 8/0.25 || got <= 0 {
+		t.Errorf("no-timeout capped = %g out of range", got)
+	}
+	if full := SendRateFull(p, lim); got < full {
+		t.Errorf("removing the timeout term should not lower the rate: %g < %g", got, full)
+	}
+}
+
+func TestThroughputWindowLimitedBranch(t *testing.T) {
+	// Force the capped branch and verify it against a hand computation.
+	p, pr := 0.001, Params{RTT: 0.47, T0: 3.2, Wm: 6, B: 2}
+	if EW(p, 2) <= pr.Wm {
+		t.Fatal("test setup: expected window-limited regime")
+	}
+	q := QHat(p, pr.Wm)
+	num := (1-p)/p + pr.Wm/2 + q
+	den := pr.RTT*(2.0/8*pr.Wm+(1-p)/(p*pr.Wm)+2) + q*FP(p)*pr.T0/(1-p)
+	if got := Throughput(p, pr); !almostEqual(got, num/den, 1e-12) {
+		t.Errorf("capped throughput = %g, want %g", got, num/den)
+	}
+}
+
+func TestRateOutOfRangeErrorMessage(t *testing.T) {
+	pr := NewParams(0.2, 2.0, 8)
+	_, err := LossRateFor(1e9, pr)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("error message: %v", err)
+	}
+}
+
+func TestLogDerivEdges(t *testing.T) {
+	if got := logDeriv(func(x float64) float64 { return x }, 0); got != 0 {
+		t.Errorf("logDeriv at x=0 = %g, want 0", got)
+	}
+	// A function that goes non-positive produces NaN rather than garbage.
+	got := logDeriv(func(x float64) float64 { return -1 }, 5)
+	if !math.IsNaN(got) {
+		t.Errorf("negative-valued function should give NaN, got %g", got)
+	}
+}
+
+func TestSlowStartRoundsEdges(t *testing.T) {
+	if SlowStartRounds(-5, 1, 2) != 0 {
+		t.Error("negative data should take 0 rounds")
+	}
+	// w1 below 1 is clamped.
+	a := SlowStartRounds(100, 0.1, 2)
+	b := SlowStartRounds(100, 1, 2)
+	if a != b {
+		t.Errorf("w1 clamp failed: %g vs %g", a, b)
+	}
+}
+
+func TestFirstLossCostEdges(t *testing.T) {
+	pr := NewParams(0.1, 1.0, 8)
+	if firstLossCost(0, pr) != 0 {
+		t.Error("no loss, no cost")
+	}
+	// Capped window: cost uses Q̂(Wm).
+	p := 0.001
+	want := QHat(p, 8.0)*EZTO(p, 1.0) + (1-QHat(p, 8.0))*0.1
+	if got := firstLossCost(p, pr); !almostEqual(got, want, 1e-12) {
+		t.Errorf("capped first-loss cost = %g, want %g", got, want)
+	}
+}

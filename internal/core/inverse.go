@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrRateOutOfRange is returned (wrapped) by LossRateFor when the requested
+// rate cannot be achieved by any loss rate in (0, 1].
+type rateOutOfRangeError struct {
+	rate float64
+	max  float64
+}
+
+func (e *rateOutOfRangeError) Error() string {
+	return fmt.Sprintf("core: target rate %g pkts/s out of range (model maximum %g pkts/s)", e.rate, e.max)
+}
+
+// LossRateFor inverts the full model: it returns the loss-indication rate p
+// at which a connection with parameters pr achieves send rate target (in
+// packets per second), found by bisection on the monotone-decreasing
+// B(p).
+//
+// This is the computation a "TCP-friendly" non-TCP flow performs: given a
+// measured loss rate it may send no faster than B(p); conversely, given its
+// current rate, the loss rate it could tolerate is LossRateFor(rate, pr).
+//
+// If the target exceeds B(p) for every p in (0, 1] — e.g. above Wm/RTT for
+// a window-limited connection — an error is returned. Targets at or below
+// B(1) = 0 return p = 1.
+func LossRateFor(target float64, pr Params) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(target) || target < 0 {
+		return 0, fmt.Errorf("core: target rate must be non-negative, got %v", target)
+	}
+	if target == 0 {
+		return 1, nil
+	}
+	const lo0 = 1e-12
+	maxRate := SendRateFull(lo0, pr)
+	if target > maxRate {
+		return 0, &rateOutOfRangeError{rate: target, max: maxRate}
+	}
+	// B(p) is monotone non-increasing on [lo0, 1]; bisect for the
+	// boundary. With a window-limited connection B is flat at Wm/RTT for
+	// small p, in which case we return the largest p still achieving the
+	// target (the most useful answer for rate control).
+	lo, hi := lo0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if SendRateFull(mid, pr) >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15 {
+			break
+		}
+	}
+	return lo, nil
+}
+
+// FriendlyRate returns the TCP-friendly send rate (packets per second) for
+// a flow observing loss rate p over a path with the given parameters — the
+// use case from the paper's introduction (defining a "fair share" rate for
+// a non-TCP flow). It is simply the full model, clamped to be finite: at
+// p == 0 on an unconstrained connection it returns Wm-free fallback
+// 1/RTT·sqrt(3/(2b·pmin)) evaluated at pmin = 1e-9 to remain usable in
+// controllers.
+func FriendlyRate(p float64, pr Params) float64 {
+	r := SendRateFull(p, pr)
+	if math.IsInf(r, 1) {
+		return SendRateFull(1e-9, pr)
+	}
+	return r
+}
+
+// CurvePoint is a single (p, rate) sample of a model curve.
+type CurvePoint struct {
+	P    float64
+	Rate float64
+}
+
+// Curve samples the model m at n log-spaced loss rates in [pmin, pmax].
+// It panics if pmin or pmax are outside (0, 1] or n < 2.
+func Curve(m Model, pr Params, pmin, pmax float64, n int) []CurvePoint {
+	if !(pmin > 0 && pmin <= 1) || !(pmax > 0 && pmax <= 1) || pmax < pmin {
+		panic(fmt.Sprintf("core: invalid curve range [%g, %g]", pmin, pmax))
+	}
+	if n < 2 {
+		panic("core: curve needs at least 2 points")
+	}
+	out := make([]CurvePoint, n)
+	lmin, lmax := math.Log(pmin), math.Log(pmax)
+	for i := range out {
+		p := math.Exp(lmin + (lmax-lmin)*float64(i)/float64(n-1))
+		out[i] = CurvePoint{P: p, Rate: m.Rate(p, pr)}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import "math"
+
+// Sensitivity analysis of the full model — how strongly B(p) reacts to
+// each of its inputs. Useful for practitioners deciding what to improve
+// (a shorter path? a larger receiver buffer? less loss?) and for
+// understanding which regime a connection is in: at low p the RTT term
+// dominates (B ~ 1/(RTT·sqrt(p))), at high p the timeout term does
+// (B ~ 1/(T0·p·(1+32p²))), and under the window cap only Wm and RTT
+// matter.
+
+// Elasticities holds the local elasticity (d log B / d log x) of the send
+// rate with respect to each model input, evaluated at one operating
+// point. An elasticity of -0.5 means a 1% increase in the input decreases
+// B by about 0.5%.
+type Elasticities struct {
+	P, RTT, T0, Wm float64
+}
+
+// relStep is the relative perturbation used by the central differences.
+const relStep = 1e-4
+
+// logDeriv computes d log f / d log x by central difference around x.
+func logDeriv(f func(float64) float64, x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	h := x * relStep
+	up, down := f(x+h), f(x-h)
+	if up <= 0 || down <= 0 {
+		return math.NaN()
+	}
+	return (math.Log(up) - math.Log(down)) / (math.Log(x+h) - math.Log(x-h))
+}
+
+// SendRateElasticities returns the elasticities of the full model at
+// (p, pr). The Wm elasticity is 0 when the window is unlimited.
+func SendRateElasticities(p float64, pr Params) Elasticities {
+	e := Elasticities{
+		P: logDeriv(func(x float64) float64 { return SendRateFull(x, pr) }, p),
+		RTT: logDeriv(func(x float64) float64 {
+			q := pr
+			q.RTT = x
+			return SendRateFull(p, q)
+		}, pr.RTT),
+		T0: logDeriv(func(x float64) float64 {
+			q := pr
+			q.T0 = x
+			return SendRateFull(p, q)
+		}, pr.T0),
+	}
+	if pr.Wm > 0 {
+		e.Wm = logDeriv(func(x float64) float64 {
+			q := pr
+			q.Wm = x
+			return SendRateFull(p, q)
+		}, pr.Wm)
+	}
+	return e
+}
+
+// Regime classifies the operating point of a connection by its dominant
+// constraint.
+type Regime int
+
+// The operating regimes of the model.
+const (
+	// RegimeWindowLimited: E[Wu] >= Wm; the rate pins near Wm/RTT.
+	RegimeWindowLimited Regime = iota
+	// RegimeCongestionAvoidance: losses are mostly repaired by fast
+	// retransmit; the sqrt(p) term dominates.
+	RegimeCongestionAvoidance
+	// RegimeTimeoutDominated: the timeout term contributes the majority
+	// of the denominator of eq. (32).
+	RegimeTimeoutDominated
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeWindowLimited:
+		return "window-limited"
+	case RegimeCongestionAvoidance:
+		return "congestion-avoidance"
+	case RegimeTimeoutDominated:
+		return "timeout-dominated"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyRegime reports which constraint dominates B(p) at the operating
+// point, using the structure of eq. (32).
+func ClassifyRegime(p float64, pr Params) Regime {
+	p = clampP(p)
+	b := pr.ackRatio()
+	if p == 0 {
+		if pr.Wm > 0 {
+			return RegimeWindowLimited
+		}
+		return RegimeCongestionAvoidance
+	}
+	w := EW(p, b)
+	if pr.Wm > 0 && w >= pr.Wm {
+		// Window-capped — but heavy loss can still make timeouts
+		// dominate inside the capped branch.
+		w = pr.Wm
+		caTerm := pr.RTT * (b/8*w + (1-p)/(p*w) + 2)
+		toTerm := QHat(p, w) * pr.T0 * FP(p) / (1 - p)
+		if toTerm > caTerm {
+			return RegimeTimeoutDominated
+		}
+		return RegimeWindowLimited
+	}
+	caTerm := pr.RTT * (b/2*w + 1)
+	toTerm := QHat(p, w) * pr.T0 * FP(p) / (1 - p)
+	if toTerm > caTerm {
+		return RegimeTimeoutDominated
+	}
+	return RegimeCongestionAvoidance
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElasticitySmallPMatchesSqrtLaw(t *testing.T) {
+	// In the sqrt regime, B ~ 1/(RTT*sqrt(p)): elasticity wrt p is
+	// -0.5 and wrt RTT is -1.
+	pr := NewParams(0.2, 2.0, 0)
+	e := SendRateElasticities(1e-4, pr)
+	if math.Abs(e.P+0.5) > 0.05 {
+		t.Errorf("dlogB/dlogp = %g, want ~-0.5", e.P)
+	}
+	if math.Abs(e.RTT+1) > 0.05 {
+		t.Errorf("dlogB/dlogRTT = %g, want ~-1", e.RTT)
+	}
+	if math.Abs(e.T0) > 0.05 {
+		t.Errorf("dlogB/dlogT0 = %g, want ~0 at tiny p", e.T0)
+	}
+}
+
+func TestElasticityHighLossTimeoutDominated(t *testing.T) {
+	// At high p the timeout term rules: T0 elasticity approaches -1 and
+	// RTT fades.
+	pr := NewParams(0.2, 2.0, 0)
+	e := SendRateElasticities(0.3, pr)
+	if e.T0 > -0.7 {
+		t.Errorf("dlogB/dlogT0 = %g, want strongly negative at p=0.3", e.T0)
+	}
+	if e.RTT < -0.35 {
+		t.Errorf("dlogB/dlogRTT = %g, want weak at p=0.3", e.RTT)
+	}
+	// p elasticity much steeper than -0.5 (the 1+32p^2 term bites).
+	if e.P > -1 {
+		t.Errorf("dlogB/dlogp = %g, want below -1 at p=0.3", e.P)
+	}
+}
+
+func TestElasticityWindowLimited(t *testing.T) {
+	// Deep in the window-limited regime, B ≈ Wm/RTT: Wm elasticity ~1,
+	// RTT ~-1, p ~0.
+	pr := NewParams(0.2, 2.0, 6)
+	e := SendRateElasticities(1e-4, pr)
+	if math.Abs(e.Wm-1) > 0.1 {
+		t.Errorf("dlogB/dlogWm = %g, want ~1", e.Wm)
+	}
+	if math.Abs(e.RTT+1) > 0.1 {
+		t.Errorf("dlogB/dlogRTT = %g, want ~-1", e.RTT)
+	}
+	if math.Abs(e.P) > 0.1 {
+		t.Errorf("dlogB/dlogp = %g, want ~0", e.P)
+	}
+}
+
+func TestElasticityUnlimitedWindowHasZeroWm(t *testing.T) {
+	pr := NewParams(0.2, 2.0, 0)
+	if e := SendRateElasticities(0.01, pr); e.Wm != 0 {
+		t.Errorf("Wm elasticity = %g on unlimited window", e.Wm)
+	}
+}
+
+func TestClassifyRegime(t *testing.T) {
+	cases := []struct {
+		p    float64
+		pr   Params
+		want Regime
+	}{
+		{1e-4, NewParams(0.2, 2.0, 8), RegimeWindowLimited},
+		{1e-4, NewParams(0.2, 2.0, 0), RegimeCongestionAvoidance},
+		{0.004, NewParams(0.2, 2.0, 0), RegimeCongestionAvoidance},
+		{0.3, NewParams(0.2, 2.0, 0), RegimeTimeoutDominated},
+		{0.3, NewParams(0.2, 2.0, 8), RegimeTimeoutDominated},
+		{0, NewParams(0.2, 2.0, 8), RegimeWindowLimited},
+		{0, NewParams(0.2, 2.0, 0), RegimeCongestionAvoidance},
+	}
+	for _, c := range cases {
+		if got := ClassifyRegime(c.p, c.pr); got != c.want {
+			t.Errorf("ClassifyRegime(%g, %v) = %v, want %v", c.p, c.pr, got, c.want)
+		}
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	names := map[Regime]string{
+		RegimeWindowLimited:       "window-limited",
+		RegimeCongestionAvoidance: "congestion-avoidance",
+		RegimeTimeoutDominated:    "timeout-dominated",
+		Regime(99):                "unknown",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
+
+func TestRegimeBoundaryMonotone(t *testing.T) {
+	// Sweeping p upward on an unlimited window, the regime must move
+	// from congestion-avoidance to timeout-dominated exactly once.
+	pr := NewParams(0.25, 2.0, 0)
+	transitions := 0
+	prev := ClassifyRegime(1e-5, pr)
+	for _, p := range []float64{1e-4, 1e-3, 0.003, 0.01, 0.03, 0.1, 0.2, 0.4, 0.7} {
+		cur := ClassifyRegime(p, pr)
+		if cur != prev {
+			transitions++
+			if prev != RegimeCongestionAvoidance || cur != RegimeTimeoutDominated {
+				t.Errorf("unexpected transition %v -> %v at p=%g", prev, cur, p)
+			}
+		}
+		prev = cur
+	}
+	if transitions != 1 {
+		t.Errorf("regime transitions = %d, want exactly 1", transitions)
+	}
+}

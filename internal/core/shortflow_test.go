@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlowStartRounds(t *testing.T) {
+	// With gamma=2 (b=1) and w1=1, data after r rounds is 2^r - 1.
+	cases := []struct {
+		d    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{3, 2},
+		{7, 3},
+		{15, 4},
+	}
+	for _, c := range cases {
+		got := SlowStartRounds(c.d, 1, 2)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SlowStartRounds(%g) = %g, want %g", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSlowStartRoundsDelayedAcks(t *testing.T) {
+	// gamma = 1.5 grows slower: more rounds for the same data.
+	r2 := SlowStartRounds(100, 1, 2)
+	r15 := SlowStartRounds(100, 1, 1.5)
+	if r15 <= r2 {
+		t.Errorf("delayed-ACK slow start should take more rounds: %g vs %g", r15, r2)
+	}
+}
+
+func TestShortFlowTimeLossless(t *testing.T) {
+	pr := NewParams(0.1, 1.0, 0)
+	// 1 packet: one round.
+	if got := ShortFlowTime(1, 0, pr); math.Abs(got-0.1) > 0.05 {
+		t.Errorf("1-packet time = %g, want ~0.1", got)
+	}
+	// Monotone in n.
+	prev := 0.0
+	for _, n := range []int{1, 2, 5, 10, 50, 200, 1000} {
+		got := ShortFlowTime(n, 0, pr)
+		if got < prev {
+			t.Fatalf("time not monotone at n=%d: %g < %g", n, got, prev)
+		}
+		prev = got
+	}
+	if ShortFlowTime(0, 0, pr) != 0 {
+		t.Error("0 packets should take 0 time")
+	}
+}
+
+func TestShortFlowTimeWindowCapSlowsLargeTransfers(t *testing.T) {
+	unlimited := NewParams(0.1, 1.0, 0)
+	capped := NewParams(0.1, 1.0, 8)
+	n := 2000
+	if tu, tc := ShortFlowTime(n, 0, unlimited), ShortFlowTime(n, 0, capped); tc <= tu {
+		t.Errorf("window cap should slow a large lossless transfer: %g vs %g", tc, tu)
+	}
+}
+
+func TestShortFlowTimeGrowsWithLoss(t *testing.T) {
+	pr := NewParams(0.1, 1.0, 32)
+	n := 500
+	prev := 0.0
+	for _, p := range []float64{0, 0.005, 0.02, 0.05, 0.1} {
+		got := ShortFlowTime(n, p, pr)
+		if got < prev {
+			t.Fatalf("time not monotone in p at %g: %g < %g", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestShortFlowRateApproachesSteadyState(t *testing.T) {
+	pr := NewParams(0.1, 1.0, 32)
+	p := 0.02
+	steady := SendRateFull(p, pr)
+	r100 := ShortFlowRate(100, p, pr)
+	r100k := ShortFlowRate(100000, p, pr)
+	if r100 >= steady {
+		t.Errorf("a 100-packet flow (%g) should be slower than steady state (%g)", r100, steady)
+	}
+	if math.Abs(r100k-steady)/steady > 0.1 {
+		t.Errorf("a 100k-packet flow (%g) should approach steady state (%g)", r100k, steady)
+	}
+	if ShortFlowRate(0, p, pr) != math.Inf(1) {
+		t.Error("zero-length flow rate should be +Inf")
+	}
+}
+
+func TestShortFlowSmallFlowsDominatedBySlowStart(t *testing.T) {
+	// For a 10-packet flow at light loss, the completion time should be
+	// close to the lossless slow-start time (a few rounds), far from
+	// n/B(p).
+	pr := NewParams(0.1, 1.0, 32)
+	p := 0.01
+	got := ShortFlowTime(10, p, pr)
+	lossless := ShortFlowTime(10, 0, pr)
+	if got > 3*lossless {
+		t.Errorf("10-packet flow at 1%% loss = %g, want near lossless %g", got, lossless)
+	}
+}

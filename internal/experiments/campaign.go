@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Table I, Table II, Figs. 7-13) plus the Section IV
+// RTT-window correlation study, using the emulated measurement
+// infrastructure in place of the 1997-98 Internet.
+//
+// Each experiment produces a Report holding ASCII-renderable tables and
+// CSV-exportable figures; the cmd/experiments binary writes them to disk.
+// Durations are scalable through Options so tests and benchmarks can run
+// abbreviated campaigns with the same code path as the full
+// reproduction.
+package experiments
+
+import (
+	"fmt"
+
+	"pftk/internal/analysis"
+	"pftk/internal/core"
+	"pftk/internal/hosts"
+	"pftk/internal/reno"
+	"pftk/internal/tablefmt"
+)
+
+// Options scales the campaigns.
+type Options struct {
+	// HourTraceDuration is the length of each "1-hour" trace in
+	// simulated seconds (paper: 3600).
+	HourTraceDuration float64
+	// ShortTraces is the number of serial connections in the 100-second
+	// campaign (paper: 100).
+	ShortTraces int
+	// ShortTraceDuration is each short connection's length (paper: 100).
+	ShortTraceDuration float64
+	// IntervalWidth divides hour traces for the scatter plots and error
+	// metrics (paper: 100).
+	IntervalWidth float64
+	// Salt perturbs all random streams.
+	Salt uint64
+}
+
+// DefaultOptions reproduces the paper's campaign dimensions.
+func DefaultOptions() Options {
+	return Options{
+		HourTraceDuration:  3600,
+		ShortTraces:        100,
+		ShortTraceDuration: 100,
+		IntervalWidth:      100,
+	}
+}
+
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.HourTraceDuration <= 0 {
+		o.HourTraceDuration = d.HourTraceDuration
+	}
+	if o.ShortTraces <= 0 {
+		o.ShortTraces = d.ShortTraces
+	}
+	if o.ShortTraceDuration <= 0 {
+		o.ShortTraceDuration = d.ShortTraceDuration
+	}
+	if o.IntervalWidth <= 0 {
+		o.IntervalWidth = d.IntervalWidth
+	}
+	return o
+}
+
+// PairRun is one finished trace with its analysis products.
+type PairRun struct {
+	Pair      hosts.Pair
+	Result    reno.Result
+	Events    []analysis.LossEvent
+	Summary   analysis.Summary
+	Intervals []analysis.Interval
+}
+
+// Params returns the model parameters measured from the run, following
+// the paper's methodology: RTT and T0 are trace averages, Wm is the
+// receiver's advertised window. Missing measurements fall back to the
+// pair's published values.
+func (pr PairRun) Params() core.Params {
+	p := core.Params{RTT: pr.Summary.MeanRTT, T0: pr.Summary.MeanT0, Wm: float64(pr.Pair.Wm), B: 2}
+	if !(p.RTT > 0) {
+		p.RTT = pr.Pair.RTT
+	}
+	if !(p.T0 > 0) {
+		p.T0 = pr.Pair.T0
+	}
+	return p
+}
+
+// RunPair simulates one bulk-transfer connection for the pair (after
+// fitting its drop process to the published loss rate) and analyzes its
+// trace with the wire-level inference pipeline.
+func RunPair(p hosts.Pair, duration float64, salt uint64, intervalWidth float64) PairRun {
+	p = hosts.CalibratedPair(p, hosts.CalibrateOptions{})
+	res := reno.RunConnection(p.ConnConfig(salt), duration)
+	events := analysis.InferLossEvents(res.Trace, p.SenderVariant().DupThreshold)
+	return PairRun{
+		Pair:      p,
+		Result:    res,
+		Events:    events,
+		Summary:   analysis.Summarize(res.Trace, events),
+		Intervals: analysis.Intervals(res.Trace, events, intervalWidth),
+	}
+}
+
+// Campaign holds the full 1-hour-per-pair measurement campaign.
+type Campaign struct {
+	Opts Options
+	Runs []PairRun
+}
+
+// RunCampaign executes the Table II campaign: one HourTraceDuration trace
+// per Table II pair.
+func RunCampaign(o Options) *Campaign {
+	o = o.normalize()
+	c := &Campaign{Opts: o}
+	for _, p := range hosts.TableII() {
+		c.Runs = append(c.Runs, RunPair(p, o.HourTraceDuration, o.Salt, o.IntervalWidth))
+	}
+	return c
+}
+
+// Run returns the campaign run for the named pair.
+func (c *Campaign) Run(name string) (PairRun, bool) {
+	for _, r := range c.Runs {
+		if r.Pair.Name() == name {
+			return r, true
+		}
+	}
+	return PairRun{}, false
+}
+
+// ShortCampaign holds the Fig. 8 / Fig. 10 campaign: for each pair,
+// ShortTraces serial connections of ShortTraceDuration seconds.
+type ShortCampaign struct {
+	Opts  Options
+	Pairs []hosts.Pair
+	// Runs[i][j] is connection j of pair i.
+	Runs [][]PairRun
+}
+
+// RunShortCampaign executes the 100 x 100-second campaign over the Fig. 8
+// pairs.
+func RunShortCampaign(o Options) *ShortCampaign {
+	o = o.normalize()
+	sc := &ShortCampaign{Opts: o, Pairs: hosts.Fig8Pairs()}
+	sc.Runs = make([][]PairRun, len(sc.Pairs))
+	for i, p := range sc.Pairs {
+		runs := make([]PairRun, o.ShortTraces)
+		for j := 0; j < o.ShortTraces; j++ {
+			salt := o.Salt + uint64(i*100000+j+1)
+			// Each short trace is analyzed as a single interval.
+			runs[j] = RunPair(p, o.ShortTraceDuration, salt, o.ShortTraceDuration)
+		}
+		sc.Runs[i] = runs
+	}
+	return sc
+}
+
+// Report is the renderable output of one experiment.
+type Report struct {
+	// ID is the registry key ("table2", "fig9", ...).
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Tables and Figures carry the regenerated content.
+	Tables  []*tablefmt.Table
+	Figures []*tablefmt.Figure
+	// Notes carry free-form commentary (expected shapes, caveats).
+	Notes []string
+}
+
+// note appends a formatted note.
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pftk/internal/core"
+	"pftk/internal/hosts"
+	"pftk/internal/tablefmt"
+)
+
+// Regimes classifies every Table II pair's operating point through the
+// model's lens: which constraint (receiver window, congestion avoidance,
+// or timeouts) dominates its send rate, and how sensitive the rate is to
+// each input (log-log elasticities). This is the "what should I fix to go
+// faster" report the model enables — for a timeout-dominated path, halving
+// T0 buys far more than halving RTT.
+func Regimes(o Options) *Report {
+	r := &Report{ID: "regimes", Title: "Extension: operating regimes and sensitivities of the Table II paths"}
+	t := tablefmt.New("Pair", "p", "Regime", "dB/dp", "dB/dRTT", "dB/dT0", "dB/dWm", "Best lever")
+	counts := map[core.Regime]int{}
+	for _, pair := range hosts.TableII() {
+		pr := core.Params{RTT: pair.RTT, T0: pair.T0, Wm: float64(pair.Wm), B: 2}
+		p := pair.P()
+		regime := core.ClassifyRegime(p, pr)
+		counts[regime]++
+		e := core.SendRateElasticities(p, pr)
+		t.AddRow(pair.Name(),
+			fmt.Sprintf("%.4f", p),
+			regime.String(),
+			fmt.Sprintf("%+.2f", e.P),
+			fmt.Sprintf("%+.2f", e.RTT),
+			fmt.Sprintf("%+.2f", e.T0),
+			fmt.Sprintf("%+.2f", e.Wm),
+			bestLever(e),
+		)
+	}
+	r.Tables = append(r.Tables, t)
+	r.note("regime counts: %d window-limited, %d congestion-avoidance, %d timeout-dominated",
+		counts[core.RegimeWindowLimited], counts[core.RegimeCongestionAvoidance], counts[core.RegimeTimeoutDominated])
+	r.note("elasticities are d(log B)/d(log x): -0.5 for p in the sqrt regime, -1 for RTT when propagation-bound, approaching -1 for T0 when timeouts rule")
+	return r
+}
+
+// bestLever names the input whose improvement (loss reduction, faster
+// path, bigger window, shorter timer) has the largest rate payoff.
+func bestLever(e core.Elasticities) string {
+	best, name := -e.P, "reduce loss"
+	if v := -e.RTT; v > best {
+		best, name = v, "shorten RTT"
+	}
+	if v := -e.T0; v > best {
+		best, name = v, "shorten T0"
+	}
+	if v := e.Wm; v > best {
+		best, name = v, "raise Wm"
+	}
+	return name
+}

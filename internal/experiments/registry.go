@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact.
+type Runner func(Options) *Report
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"table1":      Table1,
+	"table2":      Table2,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"fig13":       Fig13,
+	"correlation": Correlation,
+	"lossmodels":  LossModels,
+	"shortflows":  ShortFlows,
+	"fairness":    Fairness,
+	"regimes":     Regimes,
+	"evolution":   Evolution,
+}
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the runner for an experiment ID.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// RunAll regenerates every artifact. The 1-hour and 100-second campaigns
+// are executed once and shared between the experiments that consume them
+// (Table II + Fig. 9, and Fig. 8 + Fig. 10).
+func RunAll(o Options) []*Report {
+	o = o.normalize()
+	long := RunCampaign(o)
+	short := RunShortCampaign(o)
+	return []*Report{
+		Table1(o),
+		table2From(long),
+		Fig7(o),
+		fig8From(short),
+		fig9From(long),
+		fig10From(short),
+		Fig11(o),
+		Fig12(o),
+		Fig13(o),
+		Correlation(o),
+		LossModels(o),
+		ShortFlows(o),
+		Fairness(o),
+		Regimes(o),
+		Evolution(o),
+	}
+}

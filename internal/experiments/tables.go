@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pftk/internal/hosts"
+	"pftk/internal/tablefmt"
+)
+
+// Table1 reproduces Table I: the domains and operating systems of the
+// measurement hosts, extended with the TCP variant our simulator assigns
+// to each (the per-OS quirks of Section IV).
+func Table1(o Options) *Report {
+	r := &Report{ID: "table1", Title: "Table I: domains and operating systems of hosts"}
+	t := tablefmt.New("Receiver", "Domain", "Operating System", "Simulated variant")
+	for _, h := range hosts.TableI() {
+		t.AddRow(h.Name, h.Domain, h.OS, h.Variant.Name)
+	}
+	r.Tables = append(r.Tables, t)
+	r.note("static inventory; variants per Section IV (Linux dupack threshold 2, Irix 2^5 backoff cap, SunOS 4.x Tahoe)")
+	return r
+}
+
+// Table2 reproduces Table II: per-pair summary statistics of the 1-hour
+// campaign, with the paper's published values alongside the simulated
+// ones.
+func Table2(o Options) *Report {
+	return table2From(RunCampaign(o))
+}
+
+func table2From(c *Campaign) *Report {
+	r := &Report{ID: "table2", Title: "Table II: summary data from 1-h traces (simulated vs paper)"}
+	t := tablefmt.New("Sender", "Receiver",
+		"Pkts", "Loss", "TD", "T0", "T1", "T2", "T3", "T4", "T5+",
+		"RTT", "TOdur", "p", "paperPkts", "paperLoss", "paperTD", "paperRTT", "paperTO", "paperP")
+	for _, run := range c.Runs {
+		s := run.Summary
+		p := run.Pair
+		t.AddRow(p.Sender, p.Receiver,
+			fmt.Sprintf("%d", s.PacketsSent),
+			fmt.Sprintf("%d", s.LossIndications),
+			fmt.Sprintf("%d", s.TD),
+			fmt.Sprintf("%d", s.TimeoutHist[0]),
+			fmt.Sprintf("%d", s.TimeoutHist[1]),
+			fmt.Sprintf("%d", s.TimeoutHist[2]),
+			fmt.Sprintf("%d", s.TimeoutHist[3]),
+			fmt.Sprintf("%d", s.TimeoutHist[4]),
+			fmt.Sprintf("%d", s.TimeoutHist[5]),
+			fmt.Sprintf("%.3f", s.MeanRTT),
+			fmt.Sprintf("%.3f", s.MeanT0),
+			fmt.Sprintf("%.4f", s.P),
+			fmt.Sprintf("%d", p.PaperPackets),
+			fmt.Sprintf("%d", p.PaperLoss),
+			fmt.Sprintf("%d", p.PaperTD),
+			fmt.Sprintf("%.3f", p.RTT),
+			fmt.Sprintf("%.3f", p.T0),
+			fmt.Sprintf("%.4f", p.P()),
+		)
+	}
+	r.Tables = append(r.Tables, t)
+	// The paper's headline observation from this table.
+	timeoutDominated := 0
+	for _, run := range c.Runs {
+		if run.Summary.TimeoutSequences() > run.Summary.TD {
+			timeoutDominated++
+		}
+	}
+	r.note("durations scaled to %.0fs per trace", c.Opts.HourTraceDuration)
+	r.note("%d of %d traces have more timeout sequences than TD events (paper: timeouts dominate in all traces)",
+		timeoutDominated, len(c.Runs))
+	return r
+}

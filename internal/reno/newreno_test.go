@@ -1,0 +1,101 @@
+package reno
+
+import (
+	"testing"
+
+	"pftk/internal/netem"
+	"pftk/internal/sim"
+)
+
+// TestNewRenoRepairsMultiLossWithoutTimeout is the variant's defining
+// behavior: with several packets dropped from one window, classic Reno
+// exits recovery on the first partial ACK and usually needs an RTO for
+// the remaining holes, while NewReno retransmits hole after hole on
+// partial ACKs and finishes recovery without any timeout.
+func TestNewRenoRepairsMultiLossWithoutTimeout(t *testing.T) {
+	// Drop three packets of one established window (indexes chosen well
+	// after slow start at window 16).
+	mk := func(v Variant) SenderStats {
+		scfg := SenderConfig{Variant: v, RWnd: 16, InitialCwnd: 16, InitialSsthresh: 16, MinRTO: 1}
+		cfg := ConnConfig{
+			Sender:   scfg,
+			Receiver: ReceiverConfig{AckEvery: 1},
+			Path:     netem.SymmetricPath(0.05, netem.NewScript(30, 32, 34)),
+		}
+		return RunConnection(cfg, 30).Stats
+	}
+	nr := mk(NewReno)
+	classic := mk(Reno)
+	if nr.TimeoutEvents != 0 {
+		t.Errorf("NewReno needed %d timeouts for a 3-loss window", nr.TimeoutEvents)
+	}
+	if classic.TimeoutEvents == 0 {
+		t.Error("classic Reno repaired a 3-loss window without RTO (unexpectedly lucky)")
+	}
+	if nr.Retransmits < 3 {
+		t.Errorf("NewReno retransmitted %d packets, want >= 3", nr.Retransmits)
+	}
+}
+
+// TestNewRenoStaysInRecoveryUntilRecoverPoint drives the sender manually
+// and asserts the recovery exit point.
+func TestNewRenoStaysInRecoveryUntilRecoverPoint(t *testing.T) {
+	scfg := SenderConfig{Variant: NewReno, RWnd: 16, InitialCwnd: 12, InitialSsthresh: 12, MinRTO: 1}
+	cfg := ConnConfig{
+		Sender:   scfg,
+		Receiver: ReceiverConfig{AckEvery: 1},
+		Path:     netem.SymmetricPath(0.05, netem.NewScript(20, 22)),
+	}
+	var eng sim.Engine
+	c := NewConnection(&eng, cfg)
+	c.Sender.Start()
+	sawRecovery := false
+	for eng.Step() {
+		if c.Sender.inRecovery {
+			sawRecovery = true
+			if c.Sender.una > c.Sender.recover {
+				t.Fatal("in recovery past the recovery point")
+			}
+		}
+		if eng.Now() > 20 {
+			break
+		}
+	}
+	c.Sender.Stop()
+	if !sawRecovery {
+		t.Error("never entered fast recovery")
+	}
+}
+
+// TestNewRenoOutperformsRenoUnderBurstLoss quantifies the ablation: under
+// RTT-scale loss outages, NewReno's send rate should be at least as high
+// as classic Reno's (it avoids the RTO stalls).
+func TestNewRenoOutperformsRenoUnderBurstLoss(t *testing.T) {
+	run := func(v Variant, seed uint64) float64 {
+		cfg := ConnConfig{
+			Sender: SenderConfig{Variant: v, RWnd: 32, MinRTO: 1},
+			Path:   netem.SymmetricPath(0.05, netem.NewTimedBurst(0.004, 0.06, sim.NewRNG(seed))),
+		}
+		return RunConnection(cfg, 2000).SendRate()
+	}
+	var nr, classic float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		nr += run(NewReno, seed)
+		classic += run(Reno, seed)
+	}
+	t.Logf("newreno %.1f pkts/s vs reno %.1f pkts/s", nr/3, classic/3)
+	if nr < classic*0.95 {
+		t.Errorf("NewReno (%.1f) slower than classic Reno (%.1f) under burst loss", nr/3, classic/3)
+	}
+}
+
+// TestNewRenoVariantPreset sanity-checks the preset.
+func TestNewRenoVariantPreset(t *testing.T) {
+	if !NewReno.NewReno || NewReno.Tahoe || NewReno.DupThreshold != 3 {
+		t.Errorf("NewReno preset wrong: %+v", NewReno)
+	}
+	v := Variant{NewReno: true}.normalize()
+	if v.DupThreshold != 3 || v.MaxBackoffExp != 6 {
+		t.Errorf("normalize dropped NewReno defaults: %+v", v)
+	}
+}

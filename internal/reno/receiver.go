@@ -1,0 +1,145 @@
+package reno
+
+import (
+	"pftk/internal/netem"
+	"pftk/internal/sim"
+)
+
+// Packet is one data segment, numbered in packets from 1.
+type Packet struct {
+	Seq uint64
+	// Retx marks retransmissions (diagnostic only; receivers do not see
+	// this bit on a real wire and the receiver logic never reads it).
+	Retx bool
+}
+
+// AckPacket is a cumulative acknowledgment: every packet with Seq < Ack
+// has been received.
+type AckPacket struct {
+	Ack uint64
+}
+
+// ReceiverConfig controls receiver behavior.
+type ReceiverConfig struct {
+	// AckEvery is the paper's b: a cumulative ACK is generated for every
+	// AckEvery in-order packets (2 emulates delayed ACKs, 1 acks every
+	// packet). Values < 1 default to 2.
+	AckEvery int
+	// DelAckTimeout flushes a holding delayed ACK after this many
+	// seconds. Zero defaults to the classic 200 ms heartbeat; negative
+	// disables the timer entirely (a sender with a one-packet window
+	// then recovers only via RTO, so disable it in tests only).
+	DelAckTimeout float64
+}
+
+func (c ReceiverConfig) normalize() ReceiverConfig {
+	if c.AckEvery < 1 {
+		c.AckEvery = 2
+	}
+	if c.DelAckTimeout == 0 {
+		c.DelAckTimeout = 0.2
+	}
+	return c
+}
+
+// Receiver consumes packets from the forward link and produces cumulative
+// (possibly delayed) ACKs on the reverse link. Out-of-order arrivals are
+// acknowledged immediately, generating the duplicate ACKs that drive fast
+// retransmit — "these ACKs are not delayed" (Section II-B).
+type Receiver struct {
+	cfg      ReceiverConfig
+	eng      *sim.Engine
+	reverse  *netem.Link
+	toSender func(any)
+
+	rcvNext  uint64 // next in-order packet expected
+	buffer   map[uint64]bool
+	pending  int // in-order packets not yet acknowledged
+	delTimer *sim.Event
+
+	received   int // total packets observed, including duplicates
+	duplicates int // packets at or below rcvNext seen again
+	acksSent   int
+}
+
+// NewReceiver builds a receiver that sends its ACKs over reverse and
+// delivers them to the sender via toSender.
+func NewReceiver(eng *sim.Engine, reverse *netem.Link, toSender func(any), cfg ReceiverConfig) *Receiver {
+	return &Receiver{
+		cfg:      cfg.normalize(),
+		eng:      eng,
+		reverse:  reverse,
+		toSender: toSender,
+		rcvNext:  1,
+		buffer:   make(map[uint64]bool),
+	}
+}
+
+// Delivered returns the number of distinct packets delivered in order —
+// the receiver-side count behind the paper's throughput T(p).
+func (r *Receiver) Delivered() uint64 { return r.rcvNext - 1 }
+
+// Received returns the total packets that arrived, including duplicates
+// and out-of-order packets.
+func (r *Receiver) Received() int { return r.received }
+
+// Duplicates returns the number of arrivals the receiver had already seen.
+func (r *Receiver) Duplicates() int { return r.duplicates }
+
+// AcksSent returns the number of ACK packets emitted.
+func (r *Receiver) AcksSent() int { return r.acksSent }
+
+// OnPacket handles one arriving data packet. Pass it as the forward link's
+// delivery callback.
+func (r *Receiver) OnPacket(payload any) {
+	pkt, ok := payload.(Packet)
+	if !ok {
+		return // cross traffic shares the link; ignore it
+	}
+	r.received++
+	switch {
+	case pkt.Seq == r.rcvNext:
+		r.rcvNext++
+		for r.buffer[r.rcvNext] {
+			delete(r.buffer, r.rcvNext)
+			r.rcvNext++
+		}
+		r.pending++
+		if r.pending >= r.cfg.AckEvery || len(r.buffer) > 0 {
+			// Ack immediately at the delayed-ACK quota, or when the
+			// arrival fills a hole (fast-retransmit recovery wants
+			// prompt cumulative ACKs).
+			r.sendAck()
+		} else if r.cfg.DelAckTimeout > 0 && r.delTimer == nil {
+			r.delTimer = r.eng.After(r.cfg.DelAckTimeout, func() {
+				r.delTimer = nil
+				if r.pending > 0 {
+					r.sendAck()
+				}
+			})
+		}
+	case pkt.Seq > r.rcvNext:
+		// Out of order: buffer and emit an immediate duplicate ACK.
+		if !r.buffer[pkt.Seq] {
+			r.buffer[pkt.Seq] = true
+		} else {
+			r.duplicates++
+		}
+		r.sendAck()
+	default:
+		// Below rcvNext: a retransmission of data already received.
+		r.duplicates++
+		r.sendAck()
+	}
+}
+
+// sendAck emits the current cumulative acknowledgment.
+func (r *Receiver) sendAck() {
+	if r.delTimer != nil {
+		r.eng.Cancel(r.delTimer)
+		r.delTimer = nil
+	}
+	r.pending = 0
+	r.acksSent++
+	r.reverse.Send(AckPacket{Ack: r.rcvNext}, r.toSender)
+}

@@ -1,0 +1,151 @@
+package reno
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRTOInitial(t *testing.T) {
+	e := NewRTOEstimator(1, 240, 0)
+	if e.HasSample() {
+		t.Error("fresh estimator should have no sample")
+	}
+	if got := e.RTO(); got != 3 {
+		t.Errorf("initial RTO = %g, want 3", got)
+	}
+}
+
+func TestRTOFirstSample(t *testing.T) {
+	e := NewRTOEstimator(0.1, 240, 0)
+	e.Sample(0.5)
+	if !e.HasSample() {
+		t.Fatal("sample not absorbed")
+	}
+	if e.SRTT() != 0.5 || e.RTTVar() != 0.25 {
+		t.Errorf("SRTT=%g RTTVar=%g, want 0.5/0.25", e.SRTT(), e.RTTVar())
+	}
+	// RTO = 0.5 + 4*0.25 = 1.5
+	if got := e.RTO(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("RTO = %g, want 1.5", got)
+	}
+}
+
+func TestRTOConvergesOnSteadyRTT(t *testing.T) {
+	e := NewRTOEstimator(0.01, 240, 0)
+	for i := 0; i < 200; i++ {
+		e.Sample(0.3)
+	}
+	if math.Abs(e.SRTT()-0.3) > 1e-6 {
+		t.Errorf("SRTT = %g, want ~0.3", e.SRTT())
+	}
+	if e.RTTVar() > 1e-6 {
+		t.Errorf("RTTVar = %g, want ~0 on constant input", e.RTTVar())
+	}
+	if got := e.RTO(); math.Abs(got-0.3) > 1e-3 {
+		t.Errorf("converged RTO = %g, want ~0.3 (above MinRTO)", got)
+	}
+}
+
+func TestRTOMinClamp(t *testing.T) {
+	e := NewRTOEstimator(1.0, 240, 0)
+	for i := 0; i < 100; i++ {
+		e.Sample(0.05)
+	}
+	if got := e.RTO(); got != 1.0 {
+		t.Errorf("RTO = %g, want clamped to MinRTO 1.0", got)
+	}
+}
+
+func TestRTOMaxClamp(t *testing.T) {
+	e := NewRTOEstimator(0.1, 5, 0)
+	e.Sample(100)
+	if got := e.RTO(); got != 5 {
+		t.Errorf("RTO = %g, want clamped to MaxRTO 5", got)
+	}
+}
+
+func TestRTOTickQuantization(t *testing.T) {
+	e := NewRTOEstimator(0.01, 240, 0.5)
+	for i := 0; i < 100; i++ {
+		e.Sample(0.3)
+	}
+	// ~0.3 rounds up to 0.5.
+	if got := e.RTO(); got != 0.5 {
+		t.Errorf("RTO = %g, want 0.5 (tick-rounded)", got)
+	}
+	e.Sample(2.0) // jolt variance upward
+	rto := e.RTO()
+	if math.Mod(rto, 0.5) > 1e-9 && math.Abs(math.Mod(rto, 0.5)-0.5) > 1e-9 {
+		t.Errorf("RTO = %g not a tick multiple", rto)
+	}
+}
+
+func TestRTOIgnoresBadSamples(t *testing.T) {
+	e := NewRTOEstimator(0.1, 240, 0)
+	e.Sample(-1)
+	e.Sample(0)
+	e.Sample(math.NaN())
+	if e.HasSample() {
+		t.Error("invalid samples should be ignored")
+	}
+}
+
+func TestRTOVarianceTracksJitter(t *testing.T) {
+	e := NewRTOEstimator(0.01, 240, 0)
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			e.Sample(0.2)
+		} else {
+			e.Sample(0.4)
+		}
+	}
+	if e.RTTVar() < 0.03 {
+		t.Errorf("RTTVar = %g, want substantial on alternating input", e.RTTVar())
+	}
+	if rto := e.RTO(); rto < e.SRTT() {
+		t.Errorf("RTO %g below SRTT %g", rto, e.SRTT())
+	}
+}
+
+func TestVariantNormalize(t *testing.T) {
+	v := Variant{}.normalize()
+	if v.DupThreshold != 3 || v.MaxBackoffExp != 6 || v.Name != "reno" || v.Tahoe {
+		t.Errorf("zero Variant normalized to %+v", v)
+	}
+	l := Linux.normalize()
+	if l.DupThreshold != 2 {
+		t.Errorf("Linux threshold = %d, want 2", l.DupThreshold)
+	}
+	i := Irix.normalize()
+	if i.MaxBackoffExp != 5 {
+		t.Errorf("Irix backoff cap = %d, want 5", i.MaxBackoffExp)
+	}
+	if !Tahoe.Tahoe {
+		t.Error("Tahoe variant must set Tahoe")
+	}
+}
+
+func TestSenderConfigNormalize(t *testing.T) {
+	c := SenderConfig{}.normalize()
+	if c.RWnd != 64 || c.InitialCwnd != 1 || c.InitialSsthresh != 64 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.MinRTO != 1.0 || c.MaxRTO != 240 {
+		t.Errorf("RTO defaults: min=%g max=%g", c.MinRTO, c.MaxRTO)
+	}
+	c2 := SenderConfig{RWnd: 8, InitialSsthresh: 4}.normalize()
+	if c2.InitialSsthresh != 4 || c2.RWnd != 8 {
+		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+func TestReceiverConfigNormalize(t *testing.T) {
+	c := ReceiverConfig{}.normalize()
+	if c.AckEvery != 2 || c.DelAckTimeout != 0.2 {
+		t.Errorf("defaults: %+v", c)
+	}
+	d := ReceiverConfig{AckEvery: 1, DelAckTimeout: -1}.normalize()
+	if d.AckEvery != 1 || d.DelAckTimeout != -1 {
+		t.Errorf("explicit values overridden: %+v", d)
+	}
+}

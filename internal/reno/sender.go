@@ -1,0 +1,439 @@
+package reno
+
+import (
+	"math"
+
+	"pftk/internal/sim"
+	"pftk/internal/trace"
+)
+
+// SenderConfig controls the saturated ("infinite source") Reno sender.
+type SenderConfig struct {
+	// Variant selects the protocol flavor; the zero value is standard
+	// Reno.
+	Variant Variant
+	// RWnd is the receiver's advertised window Wm in packets; the
+	// in-flight data never exceeds min(cwnd, RWnd). Values < 1 default
+	// to 64.
+	RWnd int
+	// InitialCwnd is the initial congestion window (packets); values
+	// < 1 default to 1.
+	InitialCwnd float64
+	// InitialSsthresh defaults to the advertised window when <= 0.
+	InitialSsthresh float64
+	// MinRTO, MaxRTO and Tick configure the RTO estimator; MinRTO
+	// defaults to 1 s (RFC 6298), Tick to 0.5 s (BSD coarse timer) when
+	// both are zero-valued only if UseDefaults is kept.
+	MinRTO, MaxRTO, Tick float64
+	// TraceCwnd, when set, logs a KindCwndChange record on every
+	// congestion-window update (verbose; intended for unit tests).
+	TraceCwnd bool
+	// TotalPackets, when positive, makes the transfer finite: the
+	// sender transmits packets 1..TotalPackets and completes once all
+	// are acknowledged. Zero keeps the paper's saturated
+	// infinite-source sender.
+	TotalPackets uint64
+}
+
+func (c SenderConfig) normalize() SenderConfig {
+	c.Variant = c.Variant.normalize()
+	if c.RWnd < 1 {
+		c.RWnd = 64
+	}
+	if c.InitialCwnd < 1 {
+		c.InitialCwnd = 1
+	}
+	if c.InitialSsthresh <= 0 {
+		c.InitialSsthresh = float64(c.RWnd)
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 1.0
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 240
+	}
+	return c
+}
+
+// SenderStats aggregates ground-truth counters for a run.
+type SenderStats struct {
+	PacketsSent   int // original transmissions
+	Retransmits   int // all retransmissions
+	FastRetx      int // fast retransmits (subset of Retransmits)
+	TimeoutRetx   int // timeout retransmissions (subset of Retransmits)
+	TDEvents      int // triple-duplicate loss indications
+	TimeoutEvents int // timeout loss indications (timer fires)
+	// TimeoutsByBackoff[k] counts timeouts fired with backoff exponent
+	// k: index 0 are "single" timeouts (duration T0), 1 doubles, etc.
+	TimeoutsByBackoff [16]int
+	AcksReceived      int
+	RTTSamples        int
+}
+
+// TotalSent returns originals plus retransmissions — the model's
+// packet count N_t.
+func (s SenderStats) TotalSent() int { return s.PacketsSent + s.Retransmits }
+
+// LossIndications returns TD events plus timeout *sequences* (consecutive
+// backoff timeouts count once), matching how Table II counts "Loss
+// Indic." as TD + T0-column events... Note: the paper's per-column counts
+// T0..T5 classify each timeout sequence by its final backoff depth; the
+// analysis package reconstructs that classification from the trace.
+func (s SenderStats) LossIndications() int { return s.TDEvents + s.TimeoutEvents }
+
+// DataPath is the transmit interface the sender needs from the forward
+// direction of a path; *netem.Link and *netem.REDQueueLink both satisfy
+// it.
+type DataPath interface {
+	Send(payload any, deliver func(any))
+}
+
+// Sender is a saturated TCP Reno sender.
+type Sender struct {
+	cfg     SenderConfig
+	eng     *sim.Engine
+	forward DataPath
+	toRecv  func(any)
+	est     *RTOEstimator
+
+	// Congestion state. Sequence numbers count packets from 1; una is
+	// the lowest unacknowledged packet, sndNxt the send cursor (pulled
+	// back to una after a timeout, BSD-style go-back-N), and maxNext
+	// the lowest never-transmitted sequence.
+	una        uint64
+	sndNxt     uint64
+	maxNext    uint64
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool
+	recover    uint64 // highest seq outstanding when recovery began
+	backoffExp int
+
+	rtoTimer *sim.Event
+
+	// RTT timing (one timed segment at a time, per BSD; Karn's rule
+	// invalidates the measurement if the timed segment is
+	// retransmitted).
+	timedSeq    uint64
+	timedAt     float64
+	timedFlight int
+	timedValid  bool
+	timing      bool
+
+	stats  SenderStats
+	trace  trace.Trace
+	closed bool
+}
+
+// NewSender builds a saturated sender that transmits over forward and
+// whose ACKs arrive via OnAck. Wire the delivery side with SetDeliver (or
+// use NewConnection, which does it for you).
+func NewSender(eng *sim.Engine, forward DataPath, cfg SenderConfig) *Sender {
+	cfg = cfg.normalize()
+	s := &Sender{
+		cfg:      cfg,
+		eng:      eng,
+		forward:  forward,
+		una:      1,
+		sndNxt:   1,
+		maxNext:  1,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSsthresh,
+		est:      NewRTOEstimator(cfg.MinRTO, cfg.MaxRTO, cfg.Tick),
+	}
+	return s
+}
+
+// SetDeliver sets the callback invoked at the receiver side of the
+// forward path for every packet that survives it (normally the receiver's
+// OnPacket).
+func (s *Sender) SetDeliver(fn func(any)) { s.toRecv = fn }
+
+// Start begins transmitting.
+func (s *Sender) Start() { s.trySend() }
+
+// Stop freezes the sender: no further transmissions or timer restarts.
+func (s *Sender) Stop() {
+	s.closed = true
+	if s.rtoTimer != nil {
+		s.eng.Cancel(s.rtoTimer)
+		s.rtoTimer = nil
+	}
+}
+
+// Stats returns the ground-truth counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Trace returns the accumulated trace records. The slice is owned by the
+// sender; copy before mutating.
+func (s *Sender) Trace() trace.Trace { return s.trace }
+
+// Cwnd returns the current congestion window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the current slow-start threshold in packets.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// InFlight returns the number of packets between the cumulative
+// acknowledgment point and the send cursor.
+func (s *Sender) InFlight() int { return int(s.sndNxt - s.una) }
+
+// Estimator exposes the RTO estimator (read-mostly; used by the harness
+// to report the effective T0).
+func (s *Sender) Estimator() *RTOEstimator { return s.est }
+
+// BaseRTO returns the current first-timeout duration — the live T0.
+func (s *Sender) BaseRTO() float64 { return s.est.RTO() }
+
+func (s *Sender) log(r trace.Record) {
+	r.Time = s.eng.Now()
+	s.trace = append(s.trace, r)
+}
+
+// sendWindow returns the current usable window in whole packets.
+func (s *Sender) sendWindow() int {
+	w := math.Floor(s.cwnd)
+	if rw := float64(s.cfg.RWnd); w > rw {
+		w = rw
+	}
+	if w < 1 {
+		w = 1
+	}
+	return int(w)
+}
+
+// trySend advances the send cursor while the window allows. Sequences
+// below maxNext have been transmitted before (the cursor was pulled back
+// by a timeout) and count as timeout-driven retransmissions.
+func (s *Sender) trySend() {
+	if s.closed {
+		return
+	}
+	for s.InFlight() < s.sendWindow() {
+		seq := s.sndNxt
+		if s.cfg.TotalPackets > 0 && seq > s.cfg.TotalPackets {
+			break // finite transfer: nothing left to send
+		}
+		s.sndNxt++
+		if seq < s.maxNext {
+			s.resend(seq)
+		} else {
+			s.maxNext = seq + 1
+			s.sendNew(seq)
+		}
+	}
+}
+
+// Complete reports whether a finite transfer has been fully
+// acknowledged. It is always false for the saturated sender.
+func (s *Sender) Complete() bool {
+	return s.cfg.TotalPackets > 0 && s.una > s.cfg.TotalPackets
+}
+
+func (s *Sender) sendNew(seq uint64) {
+	s.stats.PacketsSent++
+	s.log(trace.Record{Kind: trace.KindSend, Seq: seq})
+	if !s.timing {
+		s.timing = true
+		s.timedSeq = seq
+		s.timedAt = s.eng.Now()
+		s.timedFlight = s.InFlight()
+		s.timedValid = true
+	}
+	s.forward.Send(Packet{Seq: seq}, s.toRecv)
+	if s.rtoTimer == nil {
+		s.restartRTO()
+	}
+}
+
+// resend retransmits a pulled-back sequence during post-timeout go-back-N
+// recovery.
+func (s *Sender) resend(seq uint64) {
+	s.stats.Retransmits++
+	s.stats.TimeoutRetx++
+	s.log(trace.Record{Kind: trace.KindRetransmit, Seq: seq, Val: 1})
+	if s.timing && seq == s.timedSeq {
+		s.timedValid = false
+	}
+	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
+	if s.rtoTimer == nil {
+		s.restartRTO()
+	}
+}
+
+// retransmit resends packet seq. timeout distinguishes RTO-driven
+// retransmissions from fast retransmits.
+func (s *Sender) retransmit(seq uint64, timeout bool) {
+	s.stats.Retransmits++
+	val := 0.0
+	if timeout {
+		val = 1
+		s.stats.TimeoutRetx++
+	} else {
+		s.stats.FastRetx++
+	}
+	s.log(trace.Record{Kind: trace.KindRetransmit, Seq: seq, Val: val})
+	if s.timing && seq == s.timedSeq {
+		// Karn's rule: a retransmitted segment yields no RTT sample.
+		s.timedValid = false
+	}
+	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
+}
+
+// effectiveRTO applies exponential backoff with the variant's cap.
+func (s *Sender) effectiveRTO() float64 {
+	exp := s.backoffExp
+	if max := s.cfg.Variant.MaxBackoffExp; exp > max {
+		exp = max
+	}
+	return s.est.RTO() * math.Pow(2, float64(exp))
+}
+
+func (s *Sender) restartRTO() {
+	if s.rtoTimer != nil {
+		s.eng.Cancel(s.rtoTimer)
+		s.rtoTimer = nil
+	}
+	if s.closed || s.InFlight() == 0 {
+		return
+	}
+	s.rtoTimer = s.eng.After(s.effectiveRTO(), s.onTimeout)
+}
+
+// onTimeout handles RTO expiry: collapse the window, back the timer off,
+// and retransmit the oldest outstanding packet.
+func (s *Sender) onTimeout() {
+	s.rtoTimer = nil
+	if s.closed || s.InFlight() == 0 {
+		return
+	}
+	s.stats.TimeoutEvents++
+	idx := s.backoffExp
+	if idx >= len(s.stats.TimeoutsByBackoff) {
+		idx = len(s.stats.TimeoutsByBackoff) - 1
+	}
+	s.stats.TimeoutsByBackoff[idx]++
+	s.log(trace.Record{Kind: trace.KindTimeoutFired, Val: float64(s.backoffExp)})
+
+	s.ssthresh = math.Max(float64(s.InFlight())/2, 2)
+	s.setCwnd(1)
+	s.dupAcks = 0
+	s.inRecovery = false
+	if s.backoffExp < s.cfg.Variant.MaxBackoffExp {
+		s.backoffExp++
+	}
+	s.timedValid = false
+	s.timing = false
+	// BSD-style go-back-N: pull the send cursor back to the
+	// acknowledgment point; the window (now one packet) governs how
+	// fast the outstanding data is retransmitted.
+	s.sndNxt = s.una
+	s.trySend()
+	s.restartRTO()
+}
+
+func (s *Sender) setCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	if w == s.cwnd {
+		return
+	}
+	s.cwnd = w
+	if s.cfg.TraceCwnd {
+		s.log(trace.Record{Kind: trace.KindCwndChange, Val: w})
+	}
+}
+
+// OnAck handles one arriving cumulative acknowledgment. Pass it as the
+// reverse link's delivery callback.
+func (s *Sender) OnAck(payload any) {
+	ack, ok := payload.(AckPacket)
+	if !ok || s.closed {
+		return
+	}
+	s.stats.AcksReceived++
+	s.log(trace.Record{Kind: trace.KindAck, Ack: ack.Ack})
+	switch {
+	case ack.Ack > s.una:
+		s.onNewAck(ack.Ack)
+	case ack.Ack == s.una && s.InFlight() > 0:
+		s.onDupAck()
+	}
+}
+
+func (s *Sender) onNewAck(ack uint64) {
+	// RTT sample per Karn: only if the timed segment is covered and was
+	// never retransmitted.
+	if s.timing && ack > s.timedSeq {
+		if s.timedValid {
+			sample := s.eng.Now() - s.timedAt
+			s.est.Sample(sample)
+			s.stats.RTTSamples++
+			s.log(trace.Record{Kind: trace.KindRoundSample, Seq: uint64(s.timedFlight), Val: sample})
+		}
+		s.timing = false
+	}
+	s.backoffExp = 0
+	s.una = ack
+	if s.sndNxt < s.una {
+		// The cumulative ACK can jump past the pulled-back cursor when
+		// the receiver had buffered out-of-order data.
+		s.sndNxt = s.una
+	}
+	wasRecovery := s.inRecovery
+	if s.inRecovery {
+		if s.cfg.Variant.NewReno && ack <= s.recover {
+			// NewReno partial ACK (RFC 6582): the ACK advanced but
+			// holes remain below the recovery point. Retransmit the
+			// next hole immediately and stay in recovery.
+			s.retransmit(s.una, false)
+			s.setCwnd(math.Max(s.cwnd-float64(ack-s.una)+1, 1))
+			s.restartRTO()
+			return
+		}
+		// Leave recovery (classic Reno: on any ACK of new data;
+		// NewReno: once the recovery point is covered), deflating the
+		// window to ssthresh.
+		s.inRecovery = false
+		s.setCwnd(s.ssthresh)
+	}
+	s.dupAcks = 0
+	if !wasRecovery {
+		if s.cwnd < s.ssthresh {
+			s.setCwnd(s.cwnd + 1) // slow start
+		} else {
+			s.setCwnd(s.cwnd + 1/s.cwnd) // congestion avoidance
+		}
+	}
+	s.restartRTO()
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	if s.inRecovery {
+		// Window inflation: each duplicate ACK signals a departure.
+		s.setCwnd(s.cwnd + 1)
+		s.trySend()
+		return
+	}
+	if s.dupAcks != s.cfg.Variant.DupThreshold {
+		return
+	}
+	// Fast retransmit: a TD loss indication.
+	s.stats.TDEvents++
+	s.log(trace.Record{Kind: trace.KindTDIndication, Seq: s.una})
+	s.ssthresh = math.Max(float64(s.InFlight())/2, 2)
+	s.retransmit(s.una, false)
+	if s.cfg.Variant.Tahoe {
+		s.setCwnd(1)
+		s.dupAcks = 0
+	} else {
+		s.inRecovery = true
+		s.recover = s.sndNxt - 1
+		s.setCwnd(s.ssthresh + float64(s.cfg.Variant.DupThreshold))
+	}
+	s.restartRTO()
+}

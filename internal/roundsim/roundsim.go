@@ -1,0 +1,226 @@
+// Package roundsim simulates the paper's *own* stochastic model of TCP
+// congestion avoidance, exactly as formulated in Section II: windows
+// evolve in rounds, in-round losses are perfectly correlated (the first
+// loss kills the rest of the round), the TD-vs-TO decision follows the
+// penultimate/last-round construction of Fig. 4, and timeout sequences
+// back off exponentially with the 64·T0 cap.
+//
+// Monte-Carlo estimates from this simulator converge to the closed-form
+// expressions (E[W] of eq. 13, E[X] of eq. 15, Q of eq. 26, B of eq. 32),
+// providing a derivation-level validation that is independent of the
+// packet-level simulator in package reno.
+package roundsim
+
+import (
+	"fmt"
+	"math"
+
+	"pftk/internal/sim"
+)
+
+// Config parameterizes the model process.
+type Config struct {
+	// P is the per-packet loss probability conditioned as in the paper.
+	P float64
+	// RTT is the round duration in seconds.
+	RTT float64
+	// T0 is the first timeout duration in seconds.
+	T0 float64
+	// Wm caps the window (packets); 0 disables the cap.
+	Wm float64
+	// B is the ACK ratio; defaults to 2.
+	B int
+	// Seed seeds the deterministic RNG.
+	Seed uint64
+	// TDOnly restricts the process to the Section II-A regime: every
+	// loss indication halves the window (no timeout sequences). Use it
+	// to validate the quantities derived under that assumption —
+	// E[W] (13), E[X] (15), E[Y] (5) and B (19).
+	TDOnly bool
+}
+
+func (c Config) normalize() Config {
+	if c.B < 1 {
+		c.B = 2
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if !(c.P > 0 && c.P < 1) {
+		return fmt.Errorf("roundsim: P must be in (0,1), got %v", c.P)
+	}
+	if c.RTT <= 0 || c.T0 <= 0 {
+		return fmt.Errorf("roundsim: RTT and T0 must be positive (%v, %v)", c.RTT, c.T0)
+	}
+	return nil
+}
+
+// Stats accumulates per-TDP observations over a run.
+type Stats struct {
+	// TDPs is the number of completed triple-duplicate periods.
+	TDPs int
+	// TDEvents and TOEvents split loss indications by kind.
+	TDEvents, TOEvents int
+	// SumW, SumX, SumY sum the end-of-period window, round count and
+	// packets per TDP.
+	SumW, SumX, SumY float64
+	// Timeouts counts individual timeout fires; TimeoutSequences counts
+	// backoff sequences (equal to TOEvents).
+	Timeouts int
+	// PacketsSent counts every transmission, including timeout
+	// retransmissions.
+	PacketsSent float64
+	// Elapsed is the simulated time in seconds.
+	Elapsed float64
+}
+
+// MeanW returns the empirical E[W].
+func (s Stats) MeanW() float64 { return s.SumW / float64(s.TDPs) }
+
+// MeanX returns the empirical E[X].
+func (s Stats) MeanX() float64 { return s.SumX / float64(s.TDPs) }
+
+// MeanY returns the empirical E[Y].
+func (s Stats) MeanY() float64 { return s.SumY / float64(s.TDPs) }
+
+// Q returns the empirical probability that a loss indication is a timeout.
+func (s Stats) Q() float64 {
+	n := s.TDEvents + s.TOEvents
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TOEvents) / float64(n)
+}
+
+// SendRate returns the empirical long-run send rate in packets per second.
+func (s Stats) SendRate() float64 {
+	if s.Elapsed == 0 {
+		return 0
+	}
+	return s.PacketsSent / s.Elapsed
+}
+
+// Sim runs the round-level stochastic process.
+type Sim struct {
+	cfg Config
+	rng *sim.RNG
+	// w is the congestion window at the start of the current round.
+	w float64
+	// stats accumulates observations.
+	stats Stats
+}
+
+// New creates a simulator; the initial window is 1 (as after a timeout).
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed), w: 1}, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// capWindow applies the receiver-window cap.
+func (s *Sim) capWindow(w float64) float64 {
+	if s.cfg.Wm > 0 && w > s.cfg.Wm {
+		return s.cfg.Wm
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// firstLoss samples the position of the first loss in a round of n
+// packets: it returns n if the round is loss-free, otherwise the number of
+// packets acknowledged before the loss (0..n-1).
+func (s *Sim) firstLoss(n int) int {
+	for i := 0; i < n; i++ {
+		if s.rng.Bool(s.cfg.P) {
+			return i
+		}
+	}
+	return n
+}
+
+// RunTDPs advances the process through n triple-duplicate periods
+// (each terminated by a TD or TO indication, with any following timeout
+// sequence charged to the same period).
+func (s *Sim) RunTDPs(n int) Stats {
+	for i := 0; i < n; i++ {
+		s.runOneTDP()
+	}
+	return s.stats
+}
+
+// runOneTDP plays out one period: rounds of growth until a loss
+// indication, the Fig. 4 last-round lottery, and a possible timeout
+// sequence.
+func (s *Sim) runOneTDP() {
+	cfg := s.cfg
+	rounds := 0
+	packets := 0.0
+	w := s.capWindow(s.w)
+	for {
+		n := int(math.Round(w))
+		if n < 1 {
+			n = 1
+		}
+		k := s.firstLoss(n)
+		if k == n {
+			// Loss-free round: the whole window is sent and
+			// acknowledged, the window grows by 1/b.
+			rounds++
+			packets += float64(n)
+			w = s.capWindow(w + 1/float64(cfg.B))
+			continue
+		}
+		// Penultimate round: k packets acked, the rest lost.
+		rounds++
+		packets += float64(n) // every packet of the round was transmitted
+		// Last round: the k ACKed packets trigger k new sends, of
+		// which m are received in sequence (C(k, m) of Section II-B).
+		m := s.firstLoss(k)
+		rounds++
+		packets += float64(k)
+		// Record the period. Eq. (7) defines the end-of-period window
+		// as W_i = W_{i-1}/2 + X_i/b — one increment beyond the
+		// window of the round in which the loss occurred, so add the
+		// final 1/b the paper's bookkeeping includes.
+		endW := s.capWindow(w + 1/float64(cfg.B))
+		s.stats.TDPs++
+		s.stats.SumW += endW
+		s.stats.SumX += float64(rounds)
+		s.stats.SumY += packets
+		s.stats.Elapsed += float64(rounds) * cfg.RTT
+		s.stats.PacketsSent += packets
+		if m >= 3 || s.cfg.TDOnly {
+			// Enough duplicate ACKs: a TD indication; the next
+			// period starts at half the end-of-period window.
+			s.stats.TDEvents++
+			s.w = s.capWindow(endW / 2)
+		} else {
+			// A timeout sequence: R is geometric (each
+			// retransmission is lost with probability P); the k-th
+			// timeout in the sequence waits 2^(k-1)·T0 capped at
+			// 64·T0, and sends one packet.
+			s.stats.TOEvents++
+			r := s.rng.Geometric(1 - cfg.P)
+			s.stats.Timeouts += r
+			for k := 1; k <= r; k++ {
+				factor := math.Pow(2, float64(k-1))
+				if factor > 64 {
+					factor = 64
+				}
+				s.stats.Elapsed += factor * cfg.T0
+			}
+			s.stats.PacketsSent += float64(r)
+			s.w = 1
+		}
+		return
+	}
+}

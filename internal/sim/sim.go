@@ -1,0 +1,159 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// network emulator and the TCP Reno implementation: a binary-heap event
+// queue with a virtual clock, stable FIFO ordering for simultaneous
+// events, and cancellable timers.
+//
+// Time is a float64 number of seconds since the start of the simulation.
+// Determinism: given the same sequence of Schedule calls, Run always fires
+// events in the same order, so simulations seeded with a fixed RNG are
+// fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     float64
+	seq    uint64 // tie-break: FIFO among simultaneous events
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+	fired   uint64
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before
+// Now) panics — it would silently corrupt causality. Simultaneous events
+// fire in scheduling order.
+func (e *Engine) Schedule(at float64, fn func()) *Event {
+	if math.IsNaN(at) || at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d (seconds) from the current time. A negative
+// delay panics.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events until the queue empties, Stop is called, or
+// the next event would fire after deadline. The clock is advanced to
+// deadline if the simulation drains or pauses before it. It returns the
+// number of events fired by this call.
+func (e *Engine) RunUntil(deadline float64) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// Run processes events until the queue is empty or Stop is called, and
+// returns the number of events fired by this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.fired - start
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bin histogram over [Lo, Hi). Observations
+// outside the range are counted in the under/overflow bins.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int
+	Underflow int
+	Overflow  int
+	n         int
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g, %g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case math.IsNaN(x):
+		h.n-- // NaNs are ignored entirely
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i == len(h.Bins) { // guard against rounding at the top edge
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// N returns the number of recorded (non-NaN) observations, including
+// under/overflow.
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Render draws an ASCII bar chart of the histogram, width characters wide
+// at the tallest bin — used by the experiment harness to visualize loss
+// and RTT distributions in terminal reports.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.Bins {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Bins {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "%10.4g | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", "<lo", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "%10s | %d\n", ">=hi", h.Overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package stats provides the small statistical toolkit used by the trace
+// analysis programs and the experiment harness: running moments,
+// correlation, quantiles, histograms and the average-error metric from
+// Section III of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance in one pass using
+// Welford's algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, or NaN if empty.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Var returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation, or NaN if empty.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation, or NaN if empty.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// Sum returns n·mean.
+func (r *Running) Sum() float64 { return float64(r.n) * r.mean }
+
+// Mean returns the mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the unbiased sample standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Correlation returns the Pearson coefficient of correlation between xs
+// and ys — the statistic the paper computes between per-round RTT samples
+// and the number of packets in flight (Section IV). It returns NaN when
+// the slices differ in length, are shorter than 2, or either is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// slice or out-of-range q. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// AverageError computes the paper's model-accuracy metric from
+// Section III:
+//
+//	Σ |predicted - observed| / observed  /  #observations
+//
+// Pairs whose observed value is zero are skipped (the metric is undefined
+// there); if no usable pairs remain it returns NaN. It panics if the
+// slices differ in length.
+func AverageError(predicted, observed []float64) float64 {
+	if len(predicted) != len(observed) {
+		panic(fmt.Sprintf("stats: AverageError length mismatch %d != %d", len(predicted), len(observed)))
+	}
+	sum, n := 0.0, 0
+	for i := range observed {
+		if observed[i] == 0 || math.IsNaN(observed[i]) || math.IsNaN(predicted[i]) {
+			continue
+		}
+		sum += math.Abs(predicted[i]-observed[i]) / observed[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for a
+// statistic over xs: it resamples xs with replacement rounds times,
+// applies stat to each resample, and returns the (alpha/2, 1-alpha/2)
+// quantiles of the resulting distribution. The rng function must return
+// uniform values in [0,1) (pass a seeded generator for reproducible
+// reports). Returns NaNs for empty input.
+func Bootstrap(xs []float64, stat func([]float64) float64, rounds int, alpha float64, rng func() float64) (lo, hi float64) {
+	if len(xs) == 0 || rounds <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[int(rng()*float64(len(xs)))%len(xs)]
+		}
+		estimates[r] = stat(resample)
+	}
+	return Quantile(estimates, alpha/2), Quantile(estimates, 1-alpha/2)
+}
+
+// GeometricMLE fits the success parameter of a geometric distribution
+// (support 1, 2, ...) to samples by maximum likelihood: p̂ = 1/mean. The
+// paper models the number of timeouts in a timeout sequence as geometric;
+// this is the estimator the analysis uses to report it. Returns NaN for
+// empty input or a mean below 1.
+func GeometricMLE(samples []int) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range samples {
+		s += float64(x)
+	}
+	m := s / float64(len(samples))
+	if m < 1 {
+		return math.NaN()
+	}
+	return 1 / m
+}

@@ -1,0 +1,116 @@
+package tablefmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls the ASCII rendering of a Figure.
+type PlotOptions struct {
+	// Width and Height are the plot area in characters (default 72x20).
+	Width, Height int
+	// LogX plots the x axis logarithmically (natural for loss-rate
+	// axes).
+	LogX bool
+	// LogY plots the y axis logarithmically.
+	LogY bool
+}
+
+// seriesGlyphs mark successive series in a plot.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// ASCIIPlot renders the figure as a character grid with axes, one glyph
+// per series, and a legend — enough to see the shape of any regenerated
+// figure directly in a terminal report.
+func (f *Figure) ASCIIPlot(o PlotOptions) string {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if o.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if o.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	usable := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return false
+		}
+		if o.LogX && x <= 0 {
+			return false
+		}
+		if o.LogY && y <= 0 {
+			return false
+		}
+		return true
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, ty(s.Y[i]))
+			maxY = math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return f.Title + "\n(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, o.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", o.Width))
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			cx := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(o.Width-1))
+			cy := int((ty(s.Y[i]) - minY) / (maxY - minY) * float64(o.Height-1))
+			row := o.Height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		yv := inv(maxY-(maxY-minY)*float64(i)/float64(o.Height-1), o.LogY)
+		fmt.Fprintf(&b, "%10.4g |%s|\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", o.Width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g  (%s)\n", "",
+		o.Width/2, inv(minX, o.LogX), o.Width/2, inv(maxX, o.LogX), f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}

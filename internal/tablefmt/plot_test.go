@@ -1,0 +1,99 @@
+package tablefmt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{Title: "test fig", XLabel: "p", YLabel: "rate"}
+	f.Add("curve", []float64{0.001, 0.01, 0.1}, []float64{100, 30, 5})
+	f.Add("points", []float64{0.005, 0.05}, []float64{50, 10})
+	return f
+}
+
+func TestASCIIPlotBasics(t *testing.T) {
+	out := sampleFigure().ASCIIPlot(PlotOptions{Width: 40, Height: 10})
+	if !strings.Contains(out, "test fig") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* curve") || !strings.Contains(out, "o points") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs missing from grid")
+	}
+	// Row count: height + axis + label + legend rows + title.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+2 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIPlotLogAxes(t *testing.T) {
+	out := sampleFigure().ASCIIPlot(PlotOptions{Width: 40, Height: 10, LogX: true, LogY: true})
+	if !strings.Contains(out, "0.001") {
+		t.Errorf("x range label missing:\n%s", out)
+	}
+	// In log-x the three curve points are evenly spaced; in linear they
+	// bunch left. Check the plots differ.
+	lin := sampleFigure().ASCIIPlot(PlotOptions{Width: 40, Height: 10})
+	if out == lin {
+		t.Error("log and linear renderings identical")
+	}
+}
+
+func TestASCIIPlotSkipsUnplottable(t *testing.T) {
+	f := &Figure{Title: "bad"}
+	f.Add("s", []float64{math.NaN(), 0, 1}, []float64{1, math.Inf(1), 2})
+	out := f.ASCIIPlot(PlotOptions{LogX: true})
+	if !strings.Contains(out, "bad") {
+		t.Error("title missing")
+	}
+	// only (1,2) survives the log-x filter; must not panic
+	if !strings.Contains(out, "*") {
+		t.Errorf("surviving point missing:\n%s", out)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	out := f.ASCIIPlot(PlotOptions{})
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty figure: %q", out)
+	}
+}
+
+func TestASCIIPlotConstantSeries(t *testing.T) {
+	f := &Figure{Title: "flat"}
+	f.Add("s", []float64{1, 2, 3}, []float64{5, 5, 5})
+	out := f.ASCIIPlot(PlotOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series missing:\n%s", out)
+	}
+}
+
+func TestASCIIPlotMonotoneCurvePlacement(t *testing.T) {
+	// A decreasing curve must place its leftmost point on a higher row
+	// than its rightmost.
+	f := &Figure{Title: "mono"}
+	f.Add("s", []float64{0, 1}, []float64{0, 10})
+	out := f.ASCIIPlot(PlotOptions{Width: 21, Height: 7})
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow int
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, '*'); idx >= 0 {
+			if strings.Contains(l, "|") {
+				if firstRow == 0 {
+					firstRow = i
+				}
+				lastRow = i
+				_ = idx
+			}
+		}
+	}
+	if firstRow >= lastRow {
+		t.Errorf("increasing series should span rows downward: first %d last %d\n%s", firstRow, lastRow, out)
+	}
+}

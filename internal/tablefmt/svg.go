@@ -1,0 +1,181 @@
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGOptions controls SVG rendering of a Figure.
+type SVGOptions struct {
+	// Width and Height are the image dimensions in pixels (default
+	// 640x420).
+	Width, Height int
+	// LogX and LogY select logarithmic axes.
+	LogX, LogY bool
+	// PointSeries lists series names to draw as scatter points; all
+	// others are drawn as polylines. If nil, series whose name begins
+	// with "measured" are points (the harness convention).
+	PointSeries []string
+}
+
+// svgPalette cycles through line/marker colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const svgMargin = 56
+
+// WriteSVG renders the figure as a standalone SVG document — the
+// publication-style counterpart of ASCIIPlot, written by hand so the
+// repository stays stdlib-only.
+func (f *Figure) WriteSVG(w io.Writer, o SVGOptions) error {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 420
+	}
+	tx := func(v float64) float64 {
+		if o.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if o.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	usable := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return false
+		}
+		return (!o.LogX || x > 0) && (!o.LogY || y > 0)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, tx(s.X[i])), math.Max(maxX, tx(s.X[i]))
+			minY, maxY = math.Min(minY, ty(s.Y[i])), math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	title := escapeXML(f.Title)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		o.Width/2, title)
+
+	if minX > maxX || minY > maxY {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">(no plottable points)</text>`+"\n",
+			o.Width/2, o.Height/2)
+		b.WriteString("</svg>\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	plotW := float64(o.Width - 2*svgMargin)
+	plotH := float64(o.Height - 2*svgMargin)
+	px := func(x float64) float64 { return svgMargin + (tx(x)-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(o.Height) - svgMargin - (ty(y)-minY)/(maxY-minY)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		svgMargin, svgMargin, plotW, plotH)
+	// Ticks: 5 per axis, labeled in data units.
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		X := svgMargin + plotW*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.0f" x2="%.1f" y2="%.0f" stroke="#333"/>`+"\n",
+			X, float64(o.Height)-svgMargin, X, float64(o.Height)-svgMargin+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" font-family="sans-serif" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			X, float64(o.Height)-svgMargin+18, inv(fx, o.LogX))
+		fy := minY + (maxY-minY)*float64(i)/4
+		Y := float64(o.Height) - svgMargin - plotH*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			svgMargin-5, Y, svgMargin, Y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			svgMargin-8, Y+3, inv(fy, o.LogY))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		o.Width/2, o.Height-12, escapeXML(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		o.Height/2, o.Height/2, escapeXML(f.YLabel))
+
+	isPoint := func(name string) bool {
+		if o.PointSeries == nil {
+			return strings.HasPrefix(name, "measured")
+		}
+		for _, p := range o.PointSeries {
+			if p == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Series.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if isPoint(s.Name) {
+			for i := range s.X {
+				if !usable(s.X[i], s.Y[i]) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.7"/>`+"\n",
+					px(s.X[i]), py(s.Y[i]), color)
+			}
+		} else {
+			var pts []string
+			for i := range s.X {
+				if !usable(s.X[i], s.Y[i]) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+		}
+		// Legend entry.
+		ly := svgMargin + 14 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			svgMargin+8, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			svgMargin+22, ly, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeXML escapes the five XML special characters.
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

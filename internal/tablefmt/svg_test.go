@@ -1,0 +1,90 @@
+package tablefmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	f := &Figure{Title: "B(p) & friends", XLabel: "p", YLabel: "rate"}
+	f.Add("proposed (full)", []float64{0.001, 0.01, 0.1}, []float64{100, 30, 5})
+	f.Add("measured T0", []float64{0.005, 0.05}, []float64{50, 10})
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf, SVGOptions{LogX: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"B(p) &amp; friends", // title, escaped
+		"<polyline",          // curve series
+		"<circle",            // measured series as points
+		"proposed (full)",    // legend
+		"measured T0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(s, "<circle") != 2 {
+		t.Errorf("circles = %d, want 2", strings.Count(s, "<circle"))
+	}
+}
+
+func TestWriteSVGEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Error("empty placeholder missing")
+	}
+}
+
+func TestWriteSVGExplicitPointSeries(t *testing.T) {
+	f := &Figure{Title: "x"}
+	f.Add("alpha", []float64{1, 2}, []float64{1, 2})
+	f.Add("beta", []float64{1, 2}, []float64{2, 1})
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf, SVGOptions{PointSeries: []string{"beta"}}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<polyline") != 1 {
+		t.Errorf("polylines = %d, want 1", strings.Count(s, "<polyline"))
+	}
+	if strings.Count(s, "<circle") != 2 {
+		t.Errorf("circles = %d, want 2", strings.Count(s, "<circle"))
+	}
+}
+
+func TestWriteSVGSkipsBadPoints(t *testing.T) {
+	f := &Figure{Title: "bad"}
+	f.Add("s", []float64{math.NaN(), 1, 2}, []float64{1, math.Inf(1), 3})
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("unplottable values leaked into SVG")
+	}
+}
+
+func TestWriteSVGAxisTicks(t *testing.T) {
+	f := &Figure{Title: "ticks", XLabel: "p", YLabel: "B"}
+	f.Add("s", []float64{0, 100}, []float64{0, 50})
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Tick labels for both extremes of both axes.
+	for _, want := range []string{">0<", ">100<", ">50<"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tick label %q missing", want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package tfrc
+
+import (
+	"testing"
+
+	"pftk/internal/netem"
+	"pftk/internal/reno"
+	"pftk/internal/sim"
+)
+
+// sharedBottleneck wires nTCP Reno flows and one TFRC flow through the
+// same forward link (bottleneck), returning the senders and the flow.
+func sharedBottleneck(eng *sim.Engine, fwd reno.DataPath, tfrcFwd Link, nTCP int) ([]*reno.Sender, *Flow) {
+	var tcps []*reno.Sender
+	for i := 0; i < nTCP; i++ {
+		rev := netem.NewLink(eng, netem.LinkConfig{Delay: netem.ConstantDelay(0.04)})
+		snd := reno.NewSender(eng, fwd, reno.SenderConfig{RWnd: 64, MinRTO: 0.5, Tick: 0.1})
+		rcv := reno.NewReceiver(eng, rev, snd.OnAck, reno.ReceiverConfig{})
+		snd.SetDeliver(rcv.OnPacket)
+		tcps = append(tcps, snd)
+	}
+	tfrcRev := netem.NewLink(eng, netem.LinkConfig{Delay: netem.ConstantDelay(0.04)})
+	flow := NewFlowOnLinks(eng, tfrcFwd, tfrcRev, Config{})
+	return tcps, flow
+}
+
+// TestTFRCSharesREDBottleneckWithTCP is the definitive friendliness test:
+// one TFRC flow and three TCP Reno flows through the *same* RED-managed
+// bottleneck. RED's probabilistic early drops hit paced and bursty
+// arrivals proportionally, so both congestion controllers observe
+// comparable loss rates — and the equation-based flow must then claim a
+// share comparable to a TCP flow's.
+func TestTFRCSharesREDBottleneckWithTCP(t *testing.T) {
+	var eng sim.Engine
+	const (
+		rate = 100.0
+		dur  = 3000.0
+		nTCP = 3
+	)
+	fwd := netem.NewREDLink(&eng, netem.LinkConfig{
+		Rate: rate, QueueCap: 25, Delay: netem.ConstantDelay(0.04),
+	}, sim.NewRNG(99))
+	tcps, flow := sharedBottleneck(&eng, fwd, fwd, nTCP)
+
+	for _, s := range tcps {
+		s.Start()
+	}
+	flow.Start()
+	eng.RunUntil(dur)
+	flow.Stop()
+
+	var tcpMean float64
+	for _, s := range tcps {
+		s.Stop()
+		tcpMean += float64(s.Stats().TotalSent()) / dur
+	}
+	tcpMean /= nTCP
+	tfrcRate := float64(flow.Sent()) / dur
+	ratio := tfrcRate / tcpMean
+	t.Logf("tfrc %.1f pkts/s vs mean tcp %.1f pkts/s (ratio %.2f)", tfrcRate, tcpMean, ratio)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("TFRC/TCP shared-RED-bottleneck ratio %.2f outside [0.4, 2.5]", ratio)
+	}
+	total := tfrcRate + tcpMean*nTCP
+	if total < 0.75*rate {
+		t.Errorf("aggregate %.1f pkts/s underutilizes the %.0f pkts/s link", total, rate)
+	}
+	// Both controllers should be seeing comparable loss rates.
+	pTCP := 0.0
+	for _, s := range tcps {
+		pTCP += float64(s.Stats().LossIndications()) / float64(s.Stats().TotalSent())
+	}
+	pTCP /= nTCP
+	if ev := flow.LossEventRate(); ev < pTCP/5 || ev > pTCP*5 {
+		t.Errorf("loss rates diverge: tfrc events %.4f vs tcp indications %.4f", ev, pTCP)
+	}
+}
+
+// TestTFRCPacingAdvantageAtDropTail documents the known pathology the RED
+// test avoids: at a *drop-tail* bottleneck, a smoothly-paced flow almost
+// never lands on a full queue (its packets arrive as the server drains),
+// while TCP's window bursts slam into it and absorb nearly all drops. The
+// paced flow therefore measures a far lower loss-event rate and the
+// equation lets it dominate. The test asserts the effect exists (TFRC
+// above its fair share, TCP loss rate much higher than TFRC's) — it is
+// the drop-tail/pacing interaction, not an implementation accident, and
+// the reason AQM matters for equation-based control.
+func TestTFRCPacingAdvantageAtDropTail(t *testing.T) {
+	var eng sim.Engine
+	const (
+		rate = 100.0
+		dur  = 2000.0
+		nTCP = 3
+	)
+	fwd := netem.NewLink(&eng, netem.LinkConfig{
+		Rate: rate, QueueCap: 25, Delay: netem.ConstantDelay(0.04),
+	})
+	tcps, flow := sharedBottleneck(&eng, fwd, fwd, nTCP)
+	for _, s := range tcps {
+		s.Start()
+	}
+	flow.Start()
+	eng.RunUntil(dur)
+	flow.Stop()
+	var tcpMean, pTCP float64
+	for _, s := range tcps {
+		s.Stop()
+		st := s.Stats()
+		tcpMean += float64(st.TotalSent()) / dur
+		pTCP += float64(st.LossIndications()) / float64(st.TotalSent())
+	}
+	tcpMean /= nTCP
+	pTCP /= nTCP
+	tfrcRate := float64(flow.Sent()) / dur
+	t.Logf("drop-tail: tfrc %.1f pkts/s vs tcp %.1f pkts/s; loss tfrc %.4f tcp %.4f",
+		tfrcRate, tcpMean, flow.LossEventRate(), pTCP)
+	if tfrcRate <= tcpMean {
+		t.Errorf("expected the paced flow to beat TCP at a drop-tail queue (%.1f vs %.1f)",
+			tfrcRate, tcpMean)
+	}
+	if flow.LossEventRate() >= pTCP {
+		t.Errorf("expected the paced flow to see less loss (%.4f vs %.4f)",
+			flow.LossEventRate(), pTCP)
+	}
+}

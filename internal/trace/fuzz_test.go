@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the binary decoder against arbitrary byte streams:
+// it must never panic and must only return structurally valid records.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and a few corruptions.
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // truncated record
+	f.Add([]byte("PFTKTRC"))    // truncated magic
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[9] = 0xFF // kind byte
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range tr {
+			if !r.Kind.Valid() {
+				t.Errorf("record %d has invalid kind %d after successful decode", i, r.Kind)
+			}
+		}
+	})
+}
+
+// FuzzDecodeTcpdump exercises the text parser: no panics, and every
+// successfully parsed trace re-encodes.
+func FuzzDecodeTcpdump(f *testing.F) {
+	f.Add("0.000000 snd > rcv: seq 1\n0.104000 rcv > snd: ack 2\n")
+	f.Add("0.5 snd: timeout backoff=2\n")
+	f.Add("0.5 snd: td seq=7\n# comment\n\n0.6 snd: cwnd 4.5\n")
+	f.Add("0.5 snd: round rtt=0.1 flight=3\n")
+	f.Add("garbage\n")
+	f.Add("1e300 snd > rcv: seq 18446744073709551615\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := DecodeTcpdump(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeTcpdump(&buf, tr); err != nil {
+			t.Errorf("parsed trace failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeJSONL exercises the JSON-lines decoder.
+func FuzzDecodeJSONL(f *testing.F) {
+	f.Add(`{"t":1,"k":1,"seq":5}` + "\n")
+	f.Add(`{"t":1,"k":99}` + "\n")
+	f.Add(`{not json`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := DecodeJSONL(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for i, r := range tr {
+			if !r.Kind.Valid() {
+				t.Errorf("record %d invalid kind %d", i, r.Kind)
+			}
+		}
+	})
+}

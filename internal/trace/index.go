@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// IndexedReader provides random access over a binary trace through an
+// io.ReaderAt: record i lives at a fixed offset (the format is
+// fixed-width on purpose), so sampling a multi-hour capture or
+// binary-searching for a timestamp needs no full decode.
+type IndexedReader struct {
+	r io.ReaderAt
+	n int
+}
+
+// OpenIndex validates the magic and computes the record count from the
+// stream size. size is the total byte length of the trace (e.g. from
+// os.FileInfo).
+func OpenIndex(r io.ReaderAt, size int64) (*IndexedReader, error) {
+	if size < int64(len(magic)) {
+		return nil, ErrBadMagic
+	}
+	var got [8]byte
+	if _, err := r.ReadAt(got[:], 0); err != nil {
+		return nil, err
+	}
+	if got != magic {
+		return nil, ErrBadMagic
+	}
+	body := size - int64(len(magic))
+	if body%recordSize != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes (truncated record)", body%recordSize)
+	}
+	return &IndexedReader{r: r, n: int(body / recordSize)}, nil
+}
+
+// Len returns the number of records.
+func (ir *IndexedReader) Len() int { return ir.n }
+
+// At decodes record i.
+func (ir *IndexedReader) At(i int) (Record, error) {
+	if i < 0 || i >= ir.n {
+		return Record{}, fmt.Errorf("trace: index %d out of range [0, %d)", i, ir.n)
+	}
+	var b [recordSize]byte
+	off := int64(len(magic)) + int64(i)*recordSize
+	if _, err := ir.r.ReadAt(b[:], off); err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Time: math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		Kind: Kind(b[8]),
+		Seq:  binary.LittleEndian.Uint64(b[9:]),
+		Ack:  binary.LittleEndian.Uint64(b[17:]),
+		Val:  math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
+	}
+	if !rec.Kind.Valid() {
+		return Record{}, fmt.Errorf("trace: corrupt record kind %d at index %d", rec.Kind, i)
+	}
+	return rec, nil
+}
+
+// SeekTime returns the index of the first record with Time >= t (Len() if
+// none), by binary search over the time-ordered records.
+func (ir *IndexedReader) SeekTime(t float64) (int, error) {
+	var searchErr error
+	idx := sort.Search(ir.n, func(i int) bool {
+		if searchErr != nil {
+			return true
+		}
+		rec, err := ir.At(i)
+		if err != nil {
+			searchErr = err
+			return true
+		}
+		return rec.Time >= t
+	})
+	if searchErr != nil {
+		return 0, searchErr
+	}
+	return idx, nil
+}
+
+// Slice decodes records [from, to).
+func (ir *IndexedReader) Slice(from, to int) (Trace, error) {
+	if from < 0 || to > ir.n || from > to {
+		return nil, fmt.Errorf("trace: bad slice [%d, %d) of %d", from, to, ir.n)
+	}
+	out := make(Trace, 0, to-from)
+	for i := from; i < to; i++ {
+		rec, err := ir.At(i)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Window decodes the records with Time in [from, to) without scanning the
+// rest of the capture.
+func (ir *IndexedReader) Window(from, to float64) (Trace, error) {
+	lo, err := ir.SeekTime(from)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := ir.SeekTime(to)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Slice(lo, hi)
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func indexOver(t *testing.T, tr Trace) *IndexedReader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	ir, err := OpenIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir
+}
+
+func TestIndexedReaderRandomAccess(t *testing.T) {
+	tr := sampleTrace()
+	ir := indexOver(t, tr)
+	if ir.Len() != len(tr) {
+		t.Fatalf("Len = %d, want %d", ir.Len(), len(tr))
+	}
+	// Access out of order.
+	for _, i := range []int{5, 0, len(tr) - 1, 3} {
+		rec, err := ir.At(i)
+		if err != nil {
+			t.Fatalf("At(%d): %v", i, err)
+		}
+		if rec != tr[i] {
+			t.Errorf("At(%d) = %v, want %v", i, rec, tr[i])
+		}
+	}
+	if _, err := ir.At(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := ir.At(ir.Len()); err == nil {
+		t.Error("past-end index accepted")
+	}
+}
+
+func TestIndexedReaderSeekTime(t *testing.T) {
+	tr := sampleTrace() // times 0 .. 2.1
+	ir := indexOver(t, tr)
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{-1, 0},
+		{0, 0},
+		{0.25, 2}, // first record at t=0.25
+		{0.26, 4}, // after the two records at 0.25
+		{99, ir.Len()},
+	}
+	for _, c := range cases {
+		got, err := ir.SeekTime(c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("SeekTime(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestIndexedReaderWindow(t *testing.T) {
+	tr := sampleTrace()
+	ir := indexOver(t, tr)
+	got, err := ir.Window(0.25, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Window(0.25, 1.5)
+	if len(got) != len(want) {
+		t.Fatalf("window %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndexedReaderSliceBounds(t *testing.T) {
+	ir := indexOver(t, sampleTrace())
+	if _, err := ir.Slice(3, 2); err == nil {
+		t.Error("inverted slice accepted")
+	}
+	if _, err := ir.Slice(-1, 2); err == nil {
+		t.Error("negative slice accepted")
+	}
+	all, err := ir.Slice(0, ir.Len())
+	if err != nil || len(all) != ir.Len() {
+		t.Errorf("full slice: %d records, err %v", len(all), err)
+	}
+}
+
+func TestOpenIndexRejectsBadStreams(t *testing.T) {
+	if _, err := OpenIndex(bytes.NewReader([]byte("short")), 5); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("short stream: %v", err)
+	}
+	if _, err := OpenIndex(bytes.NewReader([]byte("NOTMAGIC________")), 16); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := OpenIndex(bytes.NewReader(trunc), int64(len(trunc))); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestOpenIndexEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ir, err := OpenIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Len() != 0 {
+		t.Errorf("empty trace Len = %d", ir.Len())
+	}
+	if idx, err := ir.SeekTime(0); err != nil || idx != 0 {
+		t.Errorf("SeekTime on empty: %d, %v", idx, err)
+	}
+}

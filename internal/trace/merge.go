@@ -1,0 +1,66 @@
+package trace
+
+// Merge combines multiple traces into one time-ordered trace — used to
+// build aggregate views of multi-flow experiments (e.g. all senders
+// sharing a bottleneck). Inputs must individually be sorted; the merge is
+// stable across inputs (earlier arguments win ties).
+func Merge(traces ...Trace) Trace {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(Trace, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		var bestT float64
+		for i, t := range traces {
+			if idx[i] >= len(t) {
+				continue
+			}
+			if best == -1 || t[idx[i]].Time < bestT {
+				best = i
+				bestT = t[idx[i]].Time
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// Shift returns a copy of the trace with all timestamps offset by dt —
+// used to align serially-collected connections (the Fig. 8 campaign
+// leaves 50-second gaps between traces) onto one timeline.
+func Shift(t Trace, dt float64) Trace {
+	out := make(Trace, len(t))
+	for i, r := range t {
+		r.Time += dt
+		out[i] = r
+	}
+	return out
+}
+
+// DropPattern extracts the boolean per-packet loss pattern implied by a
+// sender-side trace: for each original transmission, whether it was
+// subsequently retransmitted (a proxy for "this packet was lost"). The
+// result can drive netem.TraceDriven to replay one run's loss process in
+// another experiment.
+func DropPattern(t Trace) []bool {
+	retx := make(map[uint64]bool)
+	for _, r := range t {
+		if r.Kind == KindRetransmit {
+			retx[r.Seq] = true
+		}
+	}
+	var pattern []bool
+	for _, r := range t {
+		if r.Kind == KindSend {
+			pattern = append(pattern, retx[r.Seq])
+		}
+	}
+	return pattern
+}

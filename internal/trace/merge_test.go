@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := Trace{{Time: 1, Kind: KindSend, Seq: 1}, {Time: 3, Kind: KindSend, Seq: 3}}
+	b := Trace{{Time: 2, Kind: KindSend, Seq: 2}, {Time: 4, Kind: KindSend, Seq: 4}}
+	m := Merge(a, b)
+	if len(m) != 4 || !m.Sorted() {
+		t.Fatalf("merge = %v", m)
+	}
+	for i, r := range m {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("position %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := Trace{{Time: 1, Kind: KindSend, Seq: 10}}
+	b := Trace{{Time: 1, Kind: KindSend, Seq: 20}}
+	m := Merge(a, b)
+	if m[0].Seq != 10 || m[1].Seq != 20 {
+		t.Errorf("tie broken wrong: %v", m)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if m := Merge(); m != nil {
+		t.Errorf("Merge() = %v", m)
+	}
+	if m := Merge(Trace{}, nil); m != nil {
+		t.Errorf("Merge(empty) = %v", m)
+	}
+	one := Trace{{Time: 1, Kind: KindSend}}
+	if m := Merge(one, nil); len(m) != 1 {
+		t.Errorf("Merge(one, nil) = %v", m)
+	}
+}
+
+func TestQuickMergePreservesAllRecords(t *testing.T) {
+	f := func(tsA, tsB []uint16) bool {
+		mk := func(ts []uint16) Trace {
+			var tr Trace
+			cur := 0.0
+			for _, v := range ts {
+				cur += float64(v%100) / 10
+				tr = append(tr, Record{Time: cur, Kind: KindSend})
+			}
+			return tr
+		}
+		a, b := mk(tsA), mk(tsB)
+		m := Merge(a, b)
+		return len(m) == len(a)+len(b) && m.Sorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShift(t *testing.T) {
+	tr := Trace{{Time: 1, Kind: KindSend}, {Time: 2, Kind: KindAck}}
+	s := Shift(tr, 10)
+	if s[0].Time != 11 || s[1].Time != 12 {
+		t.Errorf("shifted = %v", s)
+	}
+	if tr[0].Time != 1 {
+		t.Error("Shift mutated its input")
+	}
+}
+
+func TestDropPattern(t *testing.T) {
+	tr := Trace{
+		{Time: 0, Kind: KindSend, Seq: 1},
+		{Time: 1, Kind: KindSend, Seq: 2}, // lost: retransmitted below
+		{Time: 2, Kind: KindSend, Seq: 3},
+		{Time: 3, Kind: KindRetransmit, Seq: 2},
+		{Time: 4, Kind: KindSend, Seq: 4},
+	}
+	got := DropPattern(tr)
+	want := []bool{false, true, false, false}
+	if len(got) != len(want) {
+		t.Fatalf("pattern = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pattern[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

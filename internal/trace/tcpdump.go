@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// tcpdump-style text format.
+//
+// The paper's raw data was tcpdump output captured at each sender. This
+// codec renders our traces in a tcpdump-like one-line-per-event text form
+// and parses it back, so traces can be eyeballed, grepped and diffed the
+// way the original analysis programs' inputs were:
+//
+//	0.000000 snd > rcv: seq 1
+//	0.104000 rcv > snd: ack 2
+//	1.500000 snd > rcv: seq 5 (retx to)
+//	2.000000 snd: timeout backoff=1
+//	2.100000 snd: td seq=7
+//	2.200000 snd: cwnd 4.50
+//	2.300000 snd: round rtt=0.104 flight=6
+//
+// Ground-truth records (timeout/td/cwnd/round) use a "snd:" prefix since
+// they never appear on a real wire.
+
+// EncodeTcpdump writes t in the tcpdump-like text format.
+func EncodeTcpdump(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range t {
+		var line string
+		switch r.Kind {
+		case KindSend:
+			line = fmt.Sprintf("%.6f snd > rcv: seq %d", r.Time, r.Seq)
+		case KindRetransmit:
+			flavor := "fast"
+			if r.Val == 1 {
+				flavor = "to"
+			}
+			line = fmt.Sprintf("%.6f snd > rcv: seq %d (retx %s)", r.Time, r.Seq, flavor)
+		case KindAck:
+			line = fmt.Sprintf("%.6f rcv > snd: ack %d", r.Time, r.Ack)
+		case KindTimeoutFired:
+			line = fmt.Sprintf("%.6f snd: timeout backoff=%d", r.Time, int(r.Val))
+		case KindTDIndication:
+			line = fmt.Sprintf("%.6f snd: td seq=%d", r.Time, r.Seq)
+		case KindCwndChange:
+			line = fmt.Sprintf("%.6f snd: cwnd %.2f", r.Time, r.Val)
+		case KindRoundSample:
+			line = fmt.Sprintf("%.6f snd: round rtt=%.6f flight=%d", r.Time, r.Val, r.Seq)
+		default:
+			return fmt.Errorf("trace: record %d has unencodable kind %d", i, r.Kind)
+		}
+		if _, err := bw.WriteString(line + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTcpdump parses the tcpdump-like text format back into a Trace.
+// Unrecognized lines produce an error with the line number.
+func DecodeTcpdump(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTcpdumpLine(line)
+		if err != nil {
+			return t, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t = append(t, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+func parseTcpdumpLine(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Record{}, fmt.Errorf("too few fields in %q", line)
+	}
+	ts, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad timestamp %q", fields[0])
+	}
+	rest := fields[1:]
+	switch {
+	case len(rest) >= 5 && rest[0] == "snd" && rest[1] == ">" && rest[2] == "rcv:" && rest[3] == "seq":
+		seq, err := strconv.ParseUint(rest[4], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad seq %q", rest[4])
+		}
+		if len(rest) >= 7 && rest[5] == "(retx" {
+			val := 0.0
+			if strings.TrimSuffix(rest[6], ")") == "to" {
+				val = 1
+			}
+			return Record{Time: ts, Kind: KindRetransmit, Seq: seq, Val: val}, nil
+		}
+		return Record{Time: ts, Kind: KindSend, Seq: seq}, nil
+
+	case len(rest) >= 5 && rest[0] == "rcv" && rest[1] == ">" && rest[2] == "snd:" && rest[3] == "ack":
+		ack, err := strconv.ParseUint(rest[4], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad ack %q", rest[4])
+		}
+		return Record{Time: ts, Kind: KindAck, Ack: ack}, nil
+
+	case len(rest) >= 2 && rest[0] == "snd:":
+		switch {
+		case strings.HasPrefix(rest[1], "timeout"):
+			if len(rest) < 3 || !strings.HasPrefix(rest[2], "backoff=") {
+				return Record{}, fmt.Errorf("malformed timeout line %q", line)
+			}
+			k, err := strconv.Atoi(strings.TrimPrefix(rest[2], "backoff="))
+			if err != nil {
+				return Record{}, fmt.Errorf("bad backoff in %q", line)
+			}
+			return Record{Time: ts, Kind: KindTimeoutFired, Val: float64(k)}, nil
+		case rest[1] == "td":
+			if len(rest) < 3 || !strings.HasPrefix(rest[2], "seq=") {
+				return Record{}, fmt.Errorf("malformed td line %q", line)
+			}
+			seq, err := strconv.ParseUint(strings.TrimPrefix(rest[2], "seq="), 10, 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad td seq in %q", line)
+			}
+			return Record{Time: ts, Kind: KindTDIndication, Seq: seq}, nil
+		case rest[1] == "cwnd":
+			if len(rest) < 3 {
+				return Record{}, fmt.Errorf("malformed cwnd line %q", line)
+			}
+			v, err := strconv.ParseFloat(rest[2], 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad cwnd in %q", line)
+			}
+			return Record{Time: ts, Kind: KindCwndChange, Val: v}, nil
+		case rest[1] == "round":
+			if len(rest) < 4 || !strings.HasPrefix(rest[2], "rtt=") || !strings.HasPrefix(rest[3], "flight=") {
+				return Record{}, fmt.Errorf("malformed round line %q", line)
+			}
+			rtt, err := strconv.ParseFloat(strings.TrimPrefix(rest[2], "rtt="), 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad rtt in %q", line)
+			}
+			flight, err := strconv.ParseUint(strings.TrimPrefix(rest[3], "flight="), 10, 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad flight in %q", line)
+			}
+			return Record{Time: ts, Kind: KindRoundSample, Seq: flight, Val: rtt}, nil
+		}
+	}
+	return Record{}, fmt.Errorf("unrecognized line %q", line)
+}

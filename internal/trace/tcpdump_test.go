@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTcpdumpRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := EncodeTcpdump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTcpdump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		a, b := tr[i], got[i]
+		if a.Kind != b.Kind || a.Seq != b.Seq || a.Ack != b.Ack {
+			t.Errorf("record %d: %v != %v", i, a, b)
+		}
+		if math.Abs(a.Time-b.Time) > 1e-6 {
+			t.Errorf("record %d time: %v != %v", i, a.Time, b.Time)
+		}
+		// Val round-trips for the kinds that carry it.
+		switch a.Kind {
+		case KindRetransmit, KindTimeoutFired:
+			if a.Val != b.Val {
+				t.Errorf("record %d val: %v != %v", i, a.Val, b.Val)
+			}
+		case KindRoundSample:
+			if math.Abs(a.Val-b.Val) > 1e-6 {
+				t.Errorf("record %d rtt: %v != %v", i, a.Val, b.Val)
+			}
+		}
+	}
+}
+
+func TestTcpdumpHumanReadable(t *testing.T) {
+	tr := Trace{
+		{Time: 0, Kind: KindSend, Seq: 1},
+		{Time: 0.1, Kind: KindAck, Ack: 2},
+		{Time: 1.5, Kind: KindRetransmit, Seq: 1, Val: 1},
+		{Time: 1.5, Kind: KindTimeoutFired, Val: 2},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTcpdump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"snd > rcv: seq 1",
+		"rcv > snd: ack 2",
+		"(retx to)",
+		"timeout backoff=2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTcpdumpSkipsCommentsAndBlank(t *testing.T) {
+	input := `# a comment
+
+0.000000 snd > rcv: seq 1
+
+0.100000 rcv > snd: ack 2
+`
+	got, err := DecodeTcpdump(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+}
+
+func TestTcpdumpRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not a line at all",
+		"x.y snd > rcv: seq 1",
+		"0.5 snd > rcv: seq abc",
+		"0.5 rcv > snd: ack ",
+		"0.5 snd: timeout",
+		"0.5 snd: td",
+		"0.5 snd: cwnd",
+		"0.5 snd: round rtt=x flight=1",
+		"0.5 snd: mystery 42",
+	}
+	for _, c := range cases {
+		if _, err := DecodeTcpdump(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("accepted garbage %q", c)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error for %q missing line number: %v", c, err)
+		}
+	}
+}
+
+func TestTcpdumpFastRetxFlavor(t *testing.T) {
+	tr := Trace{{Time: 1, Kind: KindRetransmit, Seq: 9, Val: 0}}
+	var buf bytes.Buffer
+	if err := EncodeTcpdump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(retx fast)") {
+		t.Errorf("fast retx flavor missing: %s", buf.String())
+	}
+	got, err := DecodeTcpdump(&buf)
+	if err != nil || got[0].Val != 0 {
+		t.Errorf("fast retx flavor lost: %v %v", got, err)
+	}
+}
+
+func TestTcpdumpRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeTcpdump(&buf, Trace{{Kind: Kind(99)}}); err == nil {
+		t.Error("invalid kind encoded")
+	}
+}

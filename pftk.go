@@ -1,0 +1,273 @@
+// Package pftk is a from-scratch Go implementation of the PFTK
+// steady-state TCP throughput model from Padhye, Firoiu, Towsley and
+// Kurose, "Modeling TCP Throughput: A Simple Model and Its Empirical
+// Validation" (SIGCOMM 1998), together with everything needed to
+// re-validate it: a packet-level TCP Reno simulator over an emulated
+// network path, tcpdump-style trace capture and analysis, the
+// numerically-solved Markov model the paper compares against, and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # The model
+//
+// The headline result is B(p): the steady-state send rate of a saturated
+// (bulk-transfer) TCP Reno connection as a function of the
+// loss-indication rate p, the average round-trip time, the average first
+// retransmission-timeout duration T0, and the receiver's advertised
+// window Wm:
+//
+//	params := pftk.NewParams(0.2 /* RTT s */, 2.0 /* T0 s */, 12 /* Wm pkts */)
+//	rate := pftk.SendRate(0.02, params) // packets per second at 2% loss
+//
+// SendRate implements the paper's "full model" (eq. 32); SendRateApprox
+// the closed-form approximation (eq. 33); SendRateTDOnly the
+// Mathis et al. square-root baseline the paper compares against;
+// Throughput the receiver-side rate T(p) of eq. (37). LossRateFor inverts
+// the model, which is the "TCP-friendly rate" computation that motivated
+// the paper.
+//
+// # The validation stack
+//
+// Simulate runs a packet-level TCP Reno bulk transfer over an emulated
+// lossy path and returns both the measured rates and the sender-side
+// event trace; Analyze runs the paper's trace-analysis methodology
+// (loss-indication classification, Karn RTT filtering, 100-second
+// intervals) over any trace. The cmd/experiments binary regenerates
+// Table I, Table II and Figs. 7-13.
+package pftk
+
+import (
+	"pftk/internal/analysis"
+	"pftk/internal/core"
+	"pftk/internal/netem"
+	"pftk/internal/reno"
+	"pftk/internal/sim"
+	"pftk/internal/trace"
+)
+
+// Params holds the model parameters (RTT, T0, Wm, b). See core.Params.
+type Params = core.Params
+
+// Model selects one of the analytic characterizations.
+type Model = core.Model
+
+// The available models.
+const (
+	// ModelFull is the paper's full model, eq. (32).
+	ModelFull = core.ModelFull
+	// ModelApprox is the approximate model, eq. (33).
+	ModelApprox = core.ModelApprox
+	// ModelTDOnly is the Mathis et al. baseline ("TD only"), eq. (20).
+	ModelTDOnly = core.ModelTDOnly
+	// ModelThroughput is the receiver-side throughput model, eq. (37).
+	ModelThroughput = core.ModelThroughput
+	// ModelNoTimeout is the no-timeout ablation of Section II-A.
+	ModelNoTimeout = core.ModelNoTimeout
+)
+
+// DefaultB is the delayed-ACK ratio b = 2 used throughout the paper.
+const DefaultB = core.DefaultB
+
+// CurvePoint is one (p, rate) sample of a model curve.
+type CurvePoint = core.CurvePoint
+
+// NewParams returns Params for the given average RTT (seconds), timeout
+// T0 (seconds) and receiver window wm (packets; <= 0 means unlimited),
+// with delayed ACKs (b = 2).
+func NewParams(rtt, t0, wm float64) Params { return core.NewParams(rtt, t0, wm) }
+
+// SendRate returns the full-model send rate B(p) of eq. (32) in packets
+// per second.
+func SendRate(p float64, pr Params) float64 { return core.SendRateFull(p, pr) }
+
+// SendRateApprox returns the approximate model of eq. (33).
+func SendRateApprox(p float64, pr Params) float64 { return core.SendRateApprox(p, pr) }
+
+// SendRateTDOnly returns the Mathis et al. square-root baseline of
+// eq. (20), which ignores timeouts and the receiver window.
+func SendRateTDOnly(p float64, pr Params) float64 {
+	b := float64(pr.B)
+	if pr.B < 1 {
+		b = DefaultB
+	}
+	return core.SendRateTDOnly(p, pr.RTT, b)
+}
+
+// Throughput returns the receiver-side rate T(p) of eq. (37).
+func Throughput(p float64, pr Params) float64 { return core.Throughput(p, pr) }
+
+// LossRateFor inverts the full model: the loss rate at which a connection
+// with the given parameters achieves the target send rate (packets per
+// second). This is the computation behind "TCP-friendly" rate control.
+func LossRateFor(target float64, pr Params) (float64, error) {
+	return core.LossRateFor(target, pr)
+}
+
+// FriendlyRate returns the TCP-friendly send rate for a non-TCP flow
+// observing loss rate p on a path with the given parameters; always
+// finite.
+func FriendlyRate(p float64, pr Params) float64 { return core.FriendlyRate(p, pr) }
+
+// Curve samples a model at n log-spaced loss rates in [pmin, pmax].
+func Curve(m Model, pr Params, pmin, pmax float64, n int) []CurvePoint {
+	return core.Curve(m, pr, pmin, pmax, n)
+}
+
+// Trace is a sender-side packet event trace.
+type Trace = trace.Trace
+
+// TraceRecord is one trace event.
+type TraceRecord = trace.Record
+
+// Summary is a Table II-style per-trace summary.
+type Summary = analysis.Summary
+
+// LossEvent is one classified loss indication.
+type LossEvent = analysis.LossEvent
+
+// Interval is one fixed-width analysis interval of a trace.
+type Interval = analysis.Interval
+
+// SimResult is the outcome of a simulated bulk transfer.
+type SimResult = reno.Result
+
+// SimConfig describes a simulated bulk-transfer experiment at the level a
+// model user thinks in; Simulate maps it onto the packet-level TCP Reno
+// implementation and the path emulator.
+type SimConfig struct {
+	// RTT is the two-way propagation delay of the path in seconds.
+	RTT float64
+	// LossRate is the probability that a packet starts a loss burst.
+	LossRate float64
+	// BurstDur is the loss-outage duration in seconds (0 = isolated
+	// single-packet losses).
+	BurstDur float64
+	// Wm is the receiver's advertised window in packets (default 64).
+	Wm int
+	// MinRTO floors the retransmission timeout, shaping T0 (default
+	// 1 s).
+	MinRTO float64
+	// Duration is the transfer length in simulated seconds (default
+	// 100).
+	Duration float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Variant selects the sender's TCP flavor: "reno" (default),
+	// "tahoe", "linux", "irix" or "newreno".
+	Variant string
+	// AckEvery is the receiver's delayed-ACK ratio b (default 2).
+	AckEvery int
+}
+
+func (c SimConfig) variant() reno.Variant {
+	switch c.Variant {
+	case "tahoe":
+		return reno.Tahoe
+	case "linux":
+		return reno.Linux
+	case "irix":
+		return reno.Irix
+	case "newreno":
+		return reno.NewReno
+	default:
+		return reno.Reno
+	}
+}
+
+// Simulate runs a saturated TCP Reno bulk transfer over an emulated path
+// and returns the measured result, including the sender-side trace.
+func Simulate(c SimConfig) SimResult {
+	if c.Duration <= 0 {
+		c.Duration = 100
+	}
+	if c.RTT <= 0 {
+		c.RTT = 0.1
+	}
+	rng := sim.NewRNG(c.Seed)
+	var loss netem.LossModel
+	switch {
+	case c.LossRate <= 0:
+		loss = nil
+	case c.BurstDur > 0:
+		loss = netem.NewTimedBurst(c.LossRate, c.BurstDur, rng.Fork("loss"))
+	default:
+		loss = netem.NewBernoulli(c.LossRate, rng.Fork("loss"))
+	}
+	cfg := reno.ConnConfig{
+		Sender: reno.SenderConfig{
+			Variant: c.variant(),
+			RWnd:    c.Wm,
+			MinRTO:  c.MinRTO,
+		},
+		Receiver: reno.ReceiverConfig{AckEvery: c.AckEvery},
+		Path:     netem.SymmetricPath(c.RTT/2, loss),
+	}
+	return reno.RunConnection(cfg, c.Duration)
+}
+
+// Analyze runs the paper's trace-analysis programs over a sender-side
+// trace: loss indications are inferred from wire-level records (with the
+// given duplicate-ACK threshold; 0 means the standard 3) and summarized
+// Table II-style.
+func Analyze(tr Trace, dupThreshold int) Summary {
+	return analysis.Summarize(tr, analysis.InferLossEvents(tr, dupThreshold))
+}
+
+// AnalyzeEvents returns the classified loss indications of a trace.
+func AnalyzeEvents(tr Trace, dupThreshold int) []LossEvent {
+	return analysis.InferLossEvents(tr, dupThreshold)
+}
+
+// Intervals splits a trace into width-second intervals with per-interval
+// loss statistics, as in the paper's Fig. 7 methodology.
+func Intervals(tr Trace, events []LossEvent, width float64) []Interval {
+	return analysis.Intervals(tr, events, width)
+}
+
+// RTTWindowCorrelation returns the Section IV correlation between round
+// duration and packets in flight for a simulated trace (near 0 on
+// wide-area paths, near 1 behind a modem-style deep buffer).
+func RTTWindowCorrelation(tr Trace) float64 { return analysis.RoundCorrelation(tr) }
+
+// ShortFlowTime returns the expected completion time (seconds) of an
+// n-packet transfer under loss rate p — the short-connection extension the
+// paper lists as future work (Cardwell et al. developed it into a full
+// model in 2000): slow start, the expected first-loss cost, then steady
+// state at B(p).
+func ShortFlowTime(n int, p float64, pr Params) float64 {
+	return core.ShortFlowTime(n, p, pr)
+}
+
+// ShortFlowRate returns n / ShortFlowTime — the effective rate of a short
+// transfer, which approaches SendRate only for large n.
+func ShortFlowRate(n int, p float64, pr Params) float64 {
+	return core.ShortFlowRate(n, p, pr)
+}
+
+// SimulateTransfer runs a finite n-packet transfer with the given
+// simulation config and returns its completion time in seconds (or the
+// deadline if it never completes).
+func SimulateTransfer(c SimConfig, n int, deadline float64) float64 {
+	if c.RTT <= 0 {
+		c.RTT = 0.1
+	}
+	rng := sim.NewRNG(c.Seed)
+	var loss netem.LossModel
+	switch {
+	case c.LossRate <= 0:
+	case c.BurstDur > 0:
+		loss = netem.NewTimedBurst(c.LossRate, c.BurstDur, rng.Fork("loss"))
+	default:
+		loss = netem.NewBernoulli(c.LossRate, rng.Fork("loss"))
+	}
+	cfg := reno.ConnConfig{
+		Sender: reno.SenderConfig{
+			Variant: c.variant(),
+			RWnd:    c.Wm,
+			MinRTO:  c.MinRTO,
+		},
+		Receiver: reno.ReceiverConfig{AckEvery: c.AckEvery},
+		Path:     netem.SymmetricPath(c.RTT/2, loss),
+	}
+	return reno.TransferTime(cfg, uint64(n), deadline)
+}
