@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmtcheck vet lint invariants check clean
 
 all: build test
 
@@ -45,8 +45,28 @@ examples:
 fmt:
 	gofmt -w .
 
+# Fails (with the offending files listed) if anything is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (floatcmp, errdrop, panicstyle,
+# mutexcopy). Exit status 1 means findings.
+lint:
+	$(GO) run ./cmd/pftklint ./...
+
+# The pftkinvariants build turns the invariant layer's checks into
+# panics. The full test suite deliberately feeds NaN to the entry points,
+# so only the build and the invariant package's own tests run under the
+# tag.
+invariants:
+	$(GO) build -tags pftkinvariants ./...
+	$(GO) test -tags pftkinvariants ./internal/invariant
+
+# Umbrella gate: everything CI runs.
+check: build vet fmtcheck lint test race invariants
 
 clean:
 	rm -rf results

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"pftk/internal/cli"
 	"pftk/internal/experiments"
 	"pftk/internal/tablefmt"
 )
@@ -64,24 +65,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var htmlBuf strings.Builder
 
+	w := cli.NewWriter(stdout)
 	for _, r := range reports {
-		fmt.Fprintf(stdout, "==== %s: %s ====\n\n", r.ID, r.Title)
+		w.Printf("==== %s: %s ====\n\n", r.ID, r.Title)
 		for _, t := range r.Tables {
-			fmt.Fprint(stdout, t.ASCII())
-			fmt.Fprintln(stdout)
+			w.Print(t.ASCII())
+			w.Println()
 		}
 		for _, f := range r.Figures {
 			if *plot {
-				fmt.Fprint(stdout, f.ASCIIPlot(tablefmt.PlotOptions{LogX: true}))
+				w.Print(f.ASCIIPlot(tablefmt.PlotOptions{LogX: true}))
 			} else {
-				fmt.Fprint(stdout, f.Summary())
+				w.Print(f.Summary())
 			}
-			fmt.Fprintln(stdout)
+			w.Println()
 		}
 		for _, n := range r.Notes {
-			fmt.Fprintf(stdout, "note: %s\n", n)
+			w.Printf("note: %s\n", n)
 		}
-		fmt.Fprintln(stdout)
+		w.Println()
 		if *out != "" {
 			if err := export(*out, r); err != nil {
 				return err
@@ -93,9 +95,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := writeHTMLReport(*out, htmlBuf.String()); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "CSV, SVG and report.html written under %s\n", *out)
+		w.Printf("CSV, SVG and report.html written under %s\n", *out)
 	}
-	return nil
+	return w.Err()
 }
 
 // appendHTML adds one report's tables (as preformatted text) and figures
@@ -152,42 +154,38 @@ func export(dir string, r *experiments.Report) error {
 	}
 	for i, t := range r.Tables {
 		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", r.ID, i))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = t.WriteCSV(f)
-		f.Close()
-		if err != nil {
+		if err := writeFile(path, t.WriteCSV); err != nil {
 			return err
 		}
 	}
 	for i, fig := range r.Figures {
 		path := filepath.Join(dir, fmt.Sprintf("%s_fig%d.csv", r.ID, i))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = fig.WriteCSV(f)
-		f.Close()
-		if err != nil {
+		if err := writeFile(path, fig.WriteCSV); err != nil {
 			return err
 		}
 		svgPath := filepath.Join(dir, fmt.Sprintf("%s_fig%d.svg", r.ID, i))
-		sf, err := os.Create(svgPath)
-		if err != nil {
-			return err
+		write := func(w io.Writer) error {
+			return fig.WriteSVG(w, tablefmt.SVGOptions{LogX: figureWantsLogX(r.ID)})
 		}
-		err = fig.WriteSVG(sf, tablefmt.SVGOptions{LogX: figureWantsLogX(r.ID)})
-		sf.Close()
-		if err != nil {
+		if err := writeFile(svgPath, write); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeFile creates path and streams write into it, propagating a failed
+// Close (buffered data that never reached the disk) as an error.
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer cli.CloseWith(&err, f)
+	return write(f)
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

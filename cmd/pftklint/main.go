@@ -1,0 +1,126 @@
+// Command pftklint runs the project's static-analysis suite
+// (internal/lint) over the module: floatcmp, errdrop, panicstyle and
+// mutexcopy. It is stdlib-only — packages are parsed with go/parser and
+// type-checked with go/types against the source importer — so it runs
+// anywhere the repository builds.
+//
+// Usage:
+//
+//	pftklint ./...                  # lint every package in the module
+//	pftklint ./internal/core        # lint one directory
+//	pftklint -tests ./...           # include in-package _test.go files
+//	pftklint -only floatcmp ./...   # run a subset of analyzers
+//
+// Diagnostics are printed one per line as file:line:col: analyzer:
+// message, and the exit status is 1 if anything was reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pftk/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "pftklint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the linter, printing diagnostics to out. It returns the
+// process exit code: 0 clean, 1 findings.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("pftklint", flag.ContinueOnError)
+	var (
+		dir   = fs.String("C", ".", "change to this directory before resolving packages")
+		tests = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		only  = fs.String("only", "", "comma-separated subset of analyzers to run")
+		list  = fs.Bool("list", false, "list the available analyzers and exit")
+		tags  = fs.String("tags", "", "comma-separated extra build tags to consider satisfied")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			if _, err := fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc); err != nil {
+				return 2, err
+			}
+		}
+		return 0, nil
+	}
+
+	analyzers := lint.Analyzers
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return 2, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		return 2, err
+	}
+	loader.IncludeTests = *tests
+	if *tags != "" {
+		loader.Tags = strings.Split(*tags, ",")
+	}
+
+	pkgs, err := loadPatterns(loader, *dir, fs.Args())
+	if err != nil {
+		return 2, err
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(out, d); err != nil {
+			return 2, err
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// loadPatterns resolves the command-line package patterns. "./..." (or no
+// argument at all) means the whole module; anything else is a directory
+// path relative to -C.
+func loadPatterns(loader *lint.Loader, base string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return loader.LoadAll()
+	}
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == "all" {
+			return loader.LoadAll()
+		}
+		dir := pat
+		if !strings.HasPrefix(dir, "/") {
+			dir = base + "/" + strings.TrimPrefix(dir, "./")
+		}
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[pkg.Path] {
+			seen[pkg.Path] = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a small Go module for the CLI to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const badSource = `package bad
+
+func eq(a, b float64) bool { return a == b }
+`
+
+const cleanSource = `package clean
+
+func eq(a, b float64) bool { return a == 0 && b == 0 }
+`
+
+func TestRunFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go":     badSource,
+		"clean/clean.go": cleanSource,
+	})
+	var out strings.Builder
+	code, err := run([]string{"-C", dir, "./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (findings present)", code)
+	}
+	got := out.String()
+	if !strings.Contains(got, "bad.go:3") || !strings.Contains(got, "floatcmp") {
+		t.Errorf("output missing the expected finding:\n%s", got)
+	}
+	if strings.Contains(got, "clean.go") {
+		t.Errorf("clean package must not be flagged:\n%s", got)
+	}
+}
+
+func TestRunClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"clean/clean.go": cleanSource})
+	var out strings.Builder
+	code, err := run([]string{"-C", dir}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run must print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestRunOnlySubset(t *testing.T) {
+	dir := writeModule(t, map[string]string{"bad/bad.go": badSource})
+	// The only violation is floatcmp; restricting to errdrop must be clean.
+	var out strings.Builder
+	code, err := run([]string{"-C", dir, "-only", "errdrop", "./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("-only errdrop exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	if _, err := run([]string{"-C", dir, "-only", "nosuch"}, &out); err == nil {
+		t.Error("-only with an unknown analyzer must error")
+	}
+}
+
+func TestRunSingleDirAndList(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go":     badSource,
+		"clean/clean.go": cleanSource,
+	})
+	var out strings.Builder
+	code, err := run([]string{"-C", dir, "./clean"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("linting only ./clean: exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-list: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"floatcmp", "errdrop", "panicstyle", "mutexcopy"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"pftk"
+	"pftk/internal/cli"
 	"pftk/internal/core"
 )
 
@@ -69,54 +70,55 @@ func run(args []string, out io.Writer) error {
 		selected = []string{*model}
 	}
 
+	w := cli.NewWriter(out)
 	switch {
 	case *invert >= 0:
 		lp, err := pftk.LossRateFor(*invert, params)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "loss rate for %.3f pkts/s: p = %.6g\n", *invert, lp)
-		fmt.Fprintf(out, "check: B(%.6g) = %.3f pkts/s\n", lp, pftk.SendRate(lp, params))
+		w.Printf("loss rate for %.3f pkts/s: p = %.6g\n", *invert, lp)
+		w.Printf("check: B(%.6g) = %.3f pkts/s\n", lp, pftk.SendRate(lp, params))
 
 	case *curve != "":
 		pmin, pmax, n, err := parseCurve(*curve)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "p")
+		w.Printf("p")
 		for _, name := range selected {
-			fmt.Fprintf(out, ",%s", name)
+			w.Printf(",%s", name)
 		}
-		fmt.Fprintln(out)
+		w.Println()
 		curves := make([][]pftk.CurvePoint, len(selected))
 		for i, name := range selected {
 			curves[i] = pftk.Curve(models[name], params, pmin, pmax, n)
 		}
 		for j := 0; j < n; j++ {
-			fmt.Fprintf(out, "%.6g", curves[0][j].P)
+			w.Printf("%.6g", curves[0][j].P)
 			for i := range selected {
-				fmt.Fprintf(out, ",%.6g", curves[i][j].Rate)
+				w.Printf(",%.6g", curves[i][j].Rate)
 			}
-			fmt.Fprintln(out)
+			w.Println()
 		}
 
 	case *p >= 0:
-		fmt.Fprintf(out, "%s at p=%g:\n", params, *p)
+		w.Printf("%s at p=%g:\n", params, *p)
 		for _, name := range selected {
-			fmt.Fprintf(out, "  %-12s %10.3f pkts/s\n", name, models[name].Rate(*p, params))
+			w.Printf("  %-12s %10.3f pkts/s\n", name, models[name].Rate(*p, params))
 		}
 		if *regime {
 			rg := core.ClassifyRegime(*p, params)
 			e := core.SendRateElasticities(*p, params)
-			fmt.Fprintf(out, "regime: %s\n", rg)
-			fmt.Fprintf(out, "elasticities (d log B / d log x): p %+0.2f, RTT %+0.2f, T0 %+0.2f, Wm %+0.2f\n",
+			w.Printf("regime: %s\n", rg)
+			w.Printf("elasticities (d log B / d log x): p %+0.2f, RTT %+0.2f, T0 %+0.2f, Wm %+0.2f\n",
 				e.P, e.RTT, e.T0, e.Wm)
 		}
 
 	default:
 		return errUsage
 	}
-	return nil
+	return w.Err()
 }
 
 func parseCurve(s string) (pmin, pmax float64, n int, err error) {
@@ -135,6 +137,6 @@ func parseCurve(s string) (pmin, pmax float64, n int, err error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tcpmodel:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "tcpmodel:", err)
 	os.Exit(1)
 }

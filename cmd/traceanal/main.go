@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"pftk"
 	"pftk/internal/analysis"
+	"pftk/internal/cli"
 	"pftk/internal/core"
 	"pftk/internal/tablefmt"
 	"pftk/internal/trace"
@@ -59,7 +61,8 @@ func run(args []string, out io.Writer) error {
 	events := analysis.InferLossEvents(tr, *dupThresh)
 	sum := analysis.Summarize(tr, events)
 
-	fmt.Fprintln(out, "== Trace summary (Table II row) ==")
+	w := cli.NewWriter(out)
+	w.Println("== Trace summary (Table II row) ==")
 	t := tablefmt.New("Pkts", "Loss", "TD", "T0", "T1", "T2", "T3", "T4", "T5+", "p", "RTT", "TOdur")
 	t.AddRow(
 		fmt.Sprintf("%d", sum.PacketsSent),
@@ -75,16 +78,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Sprintf("%.3f", sum.MeanRTT),
 		fmt.Sprintf("%.3f", sum.MeanT0),
 	)
-	fmt.Fprint(out, t.ASCII())
+	w.Print(t.ASCII())
 
 	params := pftk.Params{RTT: sum.MeanRTT, T0: sum.MeanT0, Wm: *wm, B: 2}
 	if params.Validate() != nil {
-		fmt.Fprintln(out, "\n(no usable RTT/T0 measurements; skipping model comparison)")
-		return nil
+		w.Println("\n(no usable RTT/T0 measurements; skipping model comparison)")
+		return w.Err()
 	}
 
 	ivs := analysis.Intervals(tr, events, *interval)
-	fmt.Fprintf(out, "\n== Intervals (%.0f s) ==\n", *interval)
+	w.Printf("\n== Intervals (%.0f s) ==\n", *interval)
 	it := tablefmt.New("Start", "Pkts", "Loss", "p", "Category", "N_full", "N_approx", "N_tdonly")
 	for _, iv := range ivs {
 		it.AddRow(
@@ -98,17 +101,17 @@ func run(args []string, out io.Writer) error {
 			fmt.Sprintf("%.0f", analysis.PredictPackets(iv, core.ModelTDOnly, params)),
 		)
 	}
-	fmt.Fprint(out, it.ASCII())
+	w.Print(it.ASCII())
 
-	fmt.Fprintln(out, "\n== Average error (Section III metric) ==")
+	w.Println("\n== Average error (Section III metric) ==")
 	et := tablefmt.New("Model", "Average error")
 	for _, m := range []core.Model{core.ModelFull, core.ModelApprox, core.ModelTDOnly} {
 		et.AddRow(m.String(), fmt.Sprintf("%.3f", analysis.ModelError(ivs, m, params)))
 	}
-	fmt.Fprint(out, et.ASCII())
+	w.Print(et.ASCII())
 
-	if rho := analysis.RoundCorrelation(tr); rho == rho { // not NaN
-		fmt.Fprintf(out, "\nRTT-window correlation: %.3f\n", rho)
+	if rho := analysis.RoundCorrelation(tr); !math.IsNaN(rho) {
+		w.Printf("\nRTT-window correlation: %.3f\n", rho)
 	}
 
 	if *flight {
@@ -118,15 +121,15 @@ func run(args []string, out io.Writer) error {
 		if idleThresh <= 0 {
 			idleThresh = 0.5
 		}
-		fmt.Fprintln(out, "\n== Flight reconstruction (wire-level) ==")
+		w.Println("\n== Flight reconstruction (wire-level) ==")
 		ft := tablefmt.New("Metric", "Value")
 		ft.AddRow("samples", fmt.Sprintf("%d", len(series)))
 		ft.AddRow("mean flight", fmt.Sprintf("%.2f pkts", fs.Mean))
 		ft.AddRow("peak flight", fmt.Sprintf("%d pkts", fs.Peak))
 		ft.AddRow("idle fraction", fmt.Sprintf("%.3f (gaps > %.2fs)", analysis.IdleFraction(tr, idleThresh), idleThresh))
-		fmt.Fprint(out, ft.ASCII())
+		w.Print(ft.ASCII())
 	}
-	return nil
+	return w.Err()
 }
 
 func readTrace(path string, format string) (trace.Trace, error) {
@@ -138,7 +141,8 @@ func readTrace(path string, format string) (trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		// Read-only close: a failure cannot corrupt anything we decoded.
+		defer func() { _ = f.Close() }()
 		r = f
 	}
 	switch format {
@@ -158,6 +162,6 @@ func readTrace(path string, format string) (trace.Trace, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "traceanal:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "traceanal:", err)
 	os.Exit(1)
 }

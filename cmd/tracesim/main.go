@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"pftk"
+	"pftk/internal/cli"
 	"pftk/internal/trace"
 )
 
@@ -54,37 +55,43 @@ func run(args []string, stdout io.Writer) error {
 		Variant:  *variant,
 	})
 
-	fmt.Fprintf(stdout, "simulated %.0f s: %s\n", *dur, res)
-	fmt.Fprintf(stdout, "  send rate  %.2f pkts/s, throughput %.2f pkts/s\n", res.SendRate(), res.Throughput())
-	fmt.Fprintf(stdout, "  loss indication rate %.4f\n", res.LossIndicationRate())
-	fmt.Fprintf(stdout, "  trace records: %d\n", len(res.Trace))
+	w := cli.NewWriter(stdout)
+	w.Printf("simulated %.0f s: %s\n", *dur, res)
+	w.Printf("  send rate  %.2f pkts/s, throughput %.2f pkts/s\n", res.SendRate(), res.Throughput())
+	w.Printf("  loss indication rate %.4f\n", res.LossIndicationRate())
+	w.Printf("  trace records: %d\n", len(res.Trace))
 
 	if *out == "" {
-		return nil
+		return w.Err()
 	}
-	f, err := os.Create(*out)
+	if err := writeTrace(*out, *format, res.Trace); err != nil {
+		return err
+	}
+	w.Printf("wrote %s (%s)\n", *out, *format)
+	return w.Err()
+}
+
+// writeTrace encodes the trace to path; a failed Close (buffered data
+// that never hit the disk) is reported like any other write error.
+func writeTrace(path, format string, tr trace.Trace) (err error) {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	switch *format {
+	defer cli.CloseWith(&err, f)
+	switch format {
 	case "binary":
-		err = trace.Encode(f, res.Trace)
+		return trace.Encode(f, tr)
 	case "jsonl":
-		err = trace.EncodeJSONL(f, res.Trace)
+		return trace.EncodeJSONL(f, tr)
 	case "tcpdump":
-		err = trace.EncodeTcpdump(f, res.Trace)
+		return trace.EncodeTcpdump(f, tr)
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		return fmt.Errorf("unknown format %q", format)
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "wrote %s (%s)\n", *out, *format)
-	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracesim:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "tracesim:", err)
 	os.Exit(1)
 }

@@ -48,7 +48,10 @@ func FlightSeries(tr trace.Trace) []FlightSample {
 		if flight < 0 {
 			flight = 0
 		}
-		if n := len(out); n > 0 && out[n-1].Time == r.Time {
+		// Records are time-ordered (trace.Validate), so >= means "same
+		// instant as the previous sample": collapse instead of emitting
+		// a zero-width (or time-travelling) step.
+		if n := len(out); n > 0 && out[n-1].Time >= r.Time {
 			out[n-1].Flight = flight
 			continue
 		}

@@ -1,0 +1,73 @@
+// Package cli provides the small shared plumbing of the command-line
+// tools. Its centerpiece is Writer, a sticky-error io.Writer wrapper:
+// report-printing code calls Printf/Println freely, and the first write
+// error is latched and returned once from Err at the end of the run.
+// This is how the commands satisfy the errdrop analyzer honestly — the
+// error is captured and propagated, not discarded — without threading an
+// error return through every line of table output.
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer wraps an io.Writer with a sticky error. After the first failed
+// write, subsequent calls are no-ops, and Err returns the first failure.
+// The zero value is not useful; use NewWriter.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter returns a sticky-error writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Printf formats to the underlying writer unless an error is latched.
+func (w *Writer) Printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// Println writes the operands followed by a newline unless an error is
+// latched.
+func (w *Writer) Println(args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintln(w.w, args...)
+}
+
+// Print writes the operands unless an error is latched.
+func (w *Writer) Print(args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprint(w.w, args...)
+}
+
+// WriteString writes s verbatim unless an error is latched.
+func (w *Writer) WriteString(s string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = io.WriteString(w.w, s)
+}
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// CloseWith closes c and, if errp holds no earlier error, stores the
+// close error into it. It is the standard way to not lose the error of a
+// deferred Close on a file that was written to:
+//
+//	defer cli.CloseWith(&err, f)
+func CloseWith(errp *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *errp == nil {
+		*errp = cerr
+	}
+}

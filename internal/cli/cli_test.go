@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter fails every write once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	got strings.Builder
+}
+
+var errWrite = errors.New("cli_test: synthetic write failure")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.got.Len() >= f.n {
+		return 0, errWrite
+	}
+	f.got.Write(p)
+	return len(p), nil
+}
+
+func TestWriterHappyPath(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Printf("a=%d ", 1)
+	w.Print("b ")
+	w.Println("c")
+	w.WriteString("d\n")
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+	if got, want := sb.String(), "a=1 b c\nd\n"; got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	f := &failAfter{n: 4}
+	w := NewWriter(f)
+	w.Printf("1234")
+	if err := w.Err(); err != nil {
+		t.Fatalf("unexpected early error: %v", err)
+	}
+	w.Println("this write fails")
+	if !errors.Is(w.Err(), errWrite) {
+		t.Fatalf("Err() = %v, want %v", w.Err(), errWrite)
+	}
+	// Later writes are suppressed and the first error is retained.
+	w.Printf("suppressed")
+	w.WriteString("suppressed")
+	if !errors.Is(w.Err(), errWrite) {
+		t.Fatalf("Err() after more writes = %v, want %v", w.Err(), errWrite)
+	}
+	if got := f.got.String(); got != "1234" {
+		t.Fatalf("underlying writer got %q, want %q", got, "1234")
+	}
+}
+
+type closerWithErr struct{ err error }
+
+func (c closerWithErr) Close() error { return c.err }
+
+func TestCloseWith(t *testing.T) {
+	var err error
+	CloseWith(&err, closerWithErr{nil})
+	if err != nil {
+		t.Fatalf("clean close stored %v", err)
+	}
+	closeErr := errors.New("cli_test: close failed")
+	CloseWith(&err, closerWithErr{closeErr})
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("err = %v, want close error", err)
+	}
+	// An earlier error is never overwritten.
+	other := errors.New("cli_test: earlier")
+	err = other
+	CloseWith(&err, closerWithErr{closeErr})
+	if !errors.Is(err, other) {
+		t.Fatalf("err = %v, want earlier error preserved", err)
+	}
+}

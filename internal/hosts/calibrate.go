@@ -99,21 +99,42 @@ func (p Pair) Calibrate(o CalibrateOptions) Pair {
 	return cal
 }
 
+// calEntry is one memoized calibration. Entries are stored in the cache
+// by pointer — a calEntry contains a sync.Once and must never be copied
+// (the mutexcopy analyzer enforces this repo-wide).
+type calEntry struct {
+	once sync.Once
+	pair Pair
+}
+
 var (
+	// calMu guards only the map itself; the expensive probe runs happen
+	// outside it, under the entry's once, so concurrent campaigns
+	// calibrating *different* pairs proceed in parallel while
+	// same-pair callers still share a single calibration.
 	calMu    sync.Mutex
-	calCache = map[string]Pair{}
+	calCache = map[string]*calEntry{}
 )
 
 // CalibratedPair returns the pair fitted to its published loss rate,
 // memoizing the (deterministic) result per pair name so campaigns do not
-// repeat the probe runs.
+// repeat the probe runs. It is safe for concurrent use.
 func CalibratedPair(p Pair, o CalibrateOptions) Pair {
 	calMu.Lock()
-	defer calMu.Unlock()
-	if c, ok := calCache[p.Name()]; ok {
-		return c
+	e, ok := calCache[p.Name()]
+	if !ok {
+		e = &calEntry{}
+		calCache[p.Name()] = e
 	}
-	c := p.Calibrate(o)
-	calCache[p.Name()] = c
-	return c
+	calMu.Unlock()
+	e.once.Do(func() { e.pair = p.Calibrate(o) })
+	return e.pair
+}
+
+// ResetCalibrationCache drops every memoized calibration. It exists for
+// tests that need a cold cache; production campaigns never call it.
+func ResetCalibrationCache() {
+	calMu.Lock()
+	defer calMu.Unlock()
+	calCache = map[string]*calEntry{}
 }

@@ -1,0 +1,84 @@
+package hosts
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCalibratedPairConcurrent hammers the calibration cache from many
+// goroutines across several pairs; it is the regression test for the
+// cache's locking discipline and is expected to run under
+// `go test -race ./internal/hosts`. Every caller must observe exactly
+// the same calibrated pair, and the probe runs must happen once per
+// pair, not once per caller.
+func TestCalibratedPairConcurrent(t *testing.T) {
+	ResetCalibrationCache()
+	t.Cleanup(ResetCalibrationCache)
+
+	names := []string{"babel-tove", "manic-sutton", "void-sutton"}
+	opts := CalibrateOptions{Iterations: 1, ProbeDuration: 60}
+
+	pairs := make([]Pair, len(names))
+	for i, n := range names {
+		p, ok := PairByName(n)
+		if !ok {
+			t.Fatalf("unknown pair %q", n)
+		}
+		pairs[i] = p
+	}
+
+	const workers = 8
+	results := make([][]Pair, len(names))
+	for i := range results {
+		results[i] = make([]Pair, workers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker visits the pairs in a different order to
+			// shake out lock-ordering assumptions.
+			for k := 0; k < len(pairs); k++ {
+				i := (k + w) % len(pairs)
+				results[i][w] = CalibratedPair(pairs[i], opts)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, name := range names {
+		first := results[i][0]
+		if first.DropRate <= 0 {
+			t.Errorf("%s: calibrated drop rate %g must be positive", name, first.DropRate)
+		}
+		for w := 1; w < workers; w++ {
+			if results[i][w] != first {
+				t.Errorf("%s: worker %d observed a different calibration", name, w)
+			}
+		}
+		// A later sequential call must hit the cache and agree too.
+		if again := CalibratedPair(pairs[i], opts); again != first {
+			t.Errorf("%s: post-race lookup disagrees with concurrent result", name)
+		}
+	}
+}
+
+// TestResetCalibrationCache verifies the reset actually forgets entries
+// (a fresh calibration runs afterwards) without disturbing determinism.
+func TestResetCalibrationCache(t *testing.T) {
+	ResetCalibrationCache()
+	t.Cleanup(ResetCalibrationCache)
+
+	pair, ok := PairByName("babel-tove")
+	if !ok {
+		t.Fatal("unknown pair babel-tove")
+	}
+	opts := CalibrateOptions{Iterations: 1, ProbeDuration: 60}
+	a := CalibratedPair(pair, opts)
+	ResetCalibrationCache()
+	b := CalibratedPair(pair, opts)
+	if a != b {
+		t.Error("calibration is deterministic; reset must not change the result")
+	}
+}

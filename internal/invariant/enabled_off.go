@@ -1,0 +1,19 @@
+//go:build !pftkinvariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in. It is a constant so
+// that, in the default build, callers guarded by it are eliminated.
+const Enabled = false
+
+// Finite is a no-op in the default build; see the pftkinvariants tag.
+func Finite(string, float64) {}
+
+// Positive is a no-op in the default build; see the pftkinvariants tag.
+func Positive(string, float64) {}
+
+// NonNegative is a no-op in the default build; see the pftkinvariants tag.
+func NonNegative(string, float64) {}
+
+// Probability is a no-op in the default build; see the pftkinvariants tag.
+func Probability(string, float64) {}

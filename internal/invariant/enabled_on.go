@@ -1,0 +1,35 @@
+//go:build pftkinvariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in. It is a constant so
+// that, in the default build, callers guarded by it are eliminated.
+const Enabled = true
+
+// Finite panics unless v is a finite number.
+func Finite(name string, v float64) {
+	if err := CheckFinite(name, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Positive panics unless v is finite and strictly positive.
+func Positive(name string, v float64) {
+	if err := CheckPositive(name, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// NonNegative panics unless v is finite and >= 0.
+func NonNegative(name string, v float64) {
+	if err := CheckNonNegative(name, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Probability panics unless v is finite and within [0, 1].
+func Probability(name string, v float64) {
+	if err := CheckProbability(name, v); err != nil {
+		panic(err.Error())
+	}
+}

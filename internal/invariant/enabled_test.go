@@ -1,0 +1,46 @@
+//go:build pftkinvariants
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests only build with the pftkinvariants tag, where the assertion
+// wrappers must actually panic:
+//
+//	go test -tags pftkinvariants ./internal/invariant
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected panic, got none", name)
+			return
+		}
+		if s, ok := r.(string); !ok || !strings.HasPrefix(s, "invariant: ") {
+			t.Errorf("%s: panic %v lacks invariant prefix", name, r)
+		}
+	}()
+	fn()
+}
+
+func TestEnabledAssertionsPanic(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the pftkinvariants tag")
+	}
+	mustPanic(t, "Finite(NaN)", func() { Finite("x", math.NaN()) })
+	mustPanic(t, "Positive(0)", func() { Positive("x", 0) })
+	mustPanic(t, "NonNegative(-1)", func() { NonNegative("x", -1) })
+	mustPanic(t, "Probability(2)", func() { Probability("x", 2) })
+}
+
+func TestEnabledAssertionsPass(t *testing.T) {
+	Finite("x", 1)
+	Positive("x", 0.2)
+	NonNegative("x", 0)
+	Probability("x", 1)
+}

@@ -1,0 +1,74 @@
+// Package invariant provides cheap runtime assertions for the domain
+// invariants of the PFTK numerics: loss probabilities in [0, 1], strictly
+// positive durations, and finite rates. The model code is written to
+// *clamp* out-of-domain inputs deterministically (see core.clampP), so the
+// default build compiles every assertion to a no-op; building with
+//
+//	go build -tags pftkinvariants ./...
+//
+// turns the assertions into panics at the offending call site, which is
+// the intended mode for soak tests and for applications embedding the
+// model that would rather fail loudly than silently clamp.
+//
+// Two layers are exported:
+//
+//   - CheckFinite, CheckPositive, CheckNonNegative, CheckProbability:
+//     always-compiled predicates returning a descriptive error. Use these
+//     when the caller wants to reject bad input itself (and in tests,
+//     which must not depend on the build tag).
+//   - Finite, Positive, NonNegative, Probability: assertion wrappers that
+//     panic on violation when built with the pftkinvariants tag and cost
+//     nothing otherwise (Enabled is a compile-time constant, so the
+//     no-op bodies are eliminated entirely).
+//
+// The panic message carries the "invariant: " package prefix, following
+// the repo-wide panic-style convention enforced by cmd/pftklint.
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckFinite returns an error unless v is a finite number (not NaN, not
+// ±Inf). name labels the quantity in the error message.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("invariant: %s = %v must be finite", name, v)
+	}
+	return nil
+}
+
+// CheckPositive returns an error unless v is finite and strictly positive.
+func CheckPositive(name string, v float64) error {
+	if err := CheckFinite(name, v); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return fmt.Errorf("invariant: %s = %v must be > 0", name, v)
+	}
+	return nil
+}
+
+// CheckNonNegative returns an error unless v is finite and >= 0.
+func CheckNonNegative(name string, v float64) error {
+	if err := CheckFinite(name, v); err != nil {
+		return err
+	}
+	if v < 0 {
+		return fmt.Errorf("invariant: %s = %v must be >= 0", name, v)
+	}
+	return nil
+}
+
+// CheckProbability returns an error unless v is a valid probability:
+// finite and within [0, 1].
+func CheckProbability(name string, v float64) error {
+	if err := CheckFinite(name, v); err != nil {
+		return err
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("invariant: %s = %v must be in [0, 1]", name, v)
+	}
+	return nil
+}

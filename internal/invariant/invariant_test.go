@@ -1,0 +1,72 @@
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e-300, 1e300, math.SmallestNonzeroFloat64} {
+		if err := CheckFinite("x", v); err != nil {
+			t.Errorf("CheckFinite(%g) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckFinite("x", v)
+		if err == nil {
+			t.Errorf("CheckFinite(%g) = nil, want error", v)
+		} else if !strings.HasPrefix(err.Error(), "invariant: ") {
+			t.Errorf("CheckFinite(%g) error %q lacks package prefix", v, err)
+		}
+	}
+}
+
+func TestCheckPositive(t *testing.T) {
+	for _, v := range []float64{1e-300, 0.5, 1, 1e12} {
+		if err := CheckPositive("rtt", v); err != nil {
+			t.Errorf("CheckPositive(%g) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{0, -1, -1e-300, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if CheckPositive("rtt", v) == nil {
+			t.Errorf("CheckPositive(%g) = nil, want error", v)
+		}
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	for _, v := range []float64{0, 1e-300, 7} {
+		if err := CheckNonNegative("n", v); err != nil {
+			t.Errorf("CheckNonNegative(%g) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{-1e-300, -3, math.NaN(), math.Inf(1)} {
+		if CheckNonNegative("n", v) == nil {
+			t.Errorf("CheckNonNegative(%g) = nil, want error", v)
+		}
+	}
+}
+
+func TestCheckProbability(t *testing.T) {
+	for _, v := range []float64{0, 1, 0.5, 1e-300} {
+		if err := CheckProbability("p", v); err != nil {
+			t.Errorf("CheckProbability(%g) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{-1e-300, 1.0000001, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if CheckProbability("p", v) == nil {
+			t.Errorf("CheckProbability(%g) = nil, want error", v)
+		}
+	}
+}
+
+// TestErrorsNameQuantity makes sure the failing quantity's name survives
+// into the message, since that is what makes a panic at a model entry
+// point actionable.
+func TestErrorsNameQuantity(t *testing.T) {
+	err := CheckProbability("loss rate p", 2)
+	if err == nil || !strings.Contains(err.Error(), "loss rate p") {
+		t.Fatalf("error %v does not name the quantity", err)
+	}
+}

@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The fixture module: one package of known-bad code per analyzer, plus
+// one exercising the ignore directive. Everything is written to a temp
+// directory and loaded through the real Loader so the tests cover the
+// whole pipeline (parse, type-check, analyze, filter), not just the
+// Run functions.
+var fixtureFiles = map[string]string{
+	"go.mod": "module fixture\n\ngo 1.22\n",
+
+	"floatbad/floatbad.go": `package floatbad
+
+func cmp(a, b float64) bool { return a == b } // want floatcmp
+func neq(a, b float64) bool { return a != b } // want floatcmp
+
+func self(x float64) bool { return x != x } // want floatcmp (IsNaN hint)
+
+func sentinel(x float64) bool { return x == 0 }   // allowed: constant operand
+func delta(a, b float64) bool { return a-b == 0 } // allowed: constant operand
+
+func conv(a float64, b int) bool { return a == float64(b) } // want floatcmp
+
+func sw(x, y float64) bool {
+	switch x {
+	case y: // want floatcmp: non-constant case
+		return true
+	case 1: // allowed: constant case
+		return false
+	}
+	return false
+}
+`,
+
+	"errbad/errbad.go": `package errbad
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return nil }
+
+func drop() {
+	fails()       // want errdrop
+	defer fails() // want errdrop
+	go fails()    // want errdrop
+
+	_ = fails()       // allowed: explicit discard
+	fmt.Println("ok") // allowed: stdout convenience printer
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x") // allowed: infallible writer
+	sb.WriteString("y")   // allowed: infallible buffer method
+
+	fmt.Fprintln(os.Stderr, "boom") // want errdrop
+}
+`,
+
+	"panicbad/panicbad.go": `package panicbad
+
+import "fmt"
+
+func bad(n int) {
+	if n == 0 {
+		panic("missing prefix") // want panicstyle
+	}
+	panic(fmt.Sprintf("also missing %d", n)) // want panicstyle
+}
+
+func good(n int) {
+	panic("panicbad: n out of range " + fmt.Sprint(n)) // allowed
+}
+
+func dynamic(err error) {
+	panic(err) // allowed: head unknown at compile time
+}
+`,
+
+	"mutexbad/mutexbad.go": `package mutexbad
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(g Guarded) int { return g.n } // want mutexcopy (parameter)
+
+func copies(g *Guarded) {
+	cp := *g // want mutexcopy (assignment)
+	_ = cp.n
+	_ = use(*g) // want mutexcopy (call argument)
+
+	var wg sync.WaitGroup
+	wait(wg) // want mutexcopy (WaitGroup embeds a no-copy lock)
+}
+
+func wait(wg sync.WaitGroup) { wg.Wait() } // want mutexcopy (parameter)
+`,
+
+	"ignored/ignored.go": `package ignored
+
+func sameLine(a, b float64) bool {
+	return a == b //pftklint:ignore floatcmp fixture: suppressed on purpose
+}
+
+func lineAbove(a, b float64) bool {
+	//pftklint:ignore floatcmp fixture: suppressed from the line above
+	return a != b
+}
+
+func noJustification(a, b float64) bool {
+	return a == b //pftklint:ignore floatcmp
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	return a == b //pftklint:ignore errdrop fixture: names the wrong analyzer
+}
+`,
+}
+
+var (
+	fixturePkgsMemo map[string]*Package
+	fixtureErrMemo  error
+)
+
+// fixturePkgs loads the fixture module once per test binary and returns
+// its packages keyed by package name.
+func fixturePkgs(t *testing.T) map[string]*Package {
+	t.Helper()
+	if fixturePkgsMemo == nil && fixtureErrMemo == nil {
+		fixturePkgsMemo, fixtureErrMemo = loadFixtureModule()
+	}
+	if fixtureErrMemo != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErrMemo)
+	}
+	return fixturePkgsMemo
+}
+
+func loadFixtureModule() (map[string]*Package, error) {
+	dir, err := os.MkdirTemp("", "pftklint-fixture-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	for name, src := range fixtureFiles {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*Package{}
+	for _, p := range pkgs {
+		byName[p.Types.Name()] = p
+	}
+	return byName, nil
+}
+
+// expectation is one diagnostic the fixture is known to contain.
+type expectation struct {
+	line   int
+	substr string // must appear in the message
+}
+
+// checkDiags asserts the analyzer produced exactly the expected findings
+// (by line) and that each message carries its expected fragment.
+func checkDiags(t *testing.T, got []Diagnostic, want []expectation) {
+	t.Helper()
+	byLine := map[int]Diagnostic{}
+	for _, d := range got {
+		if prev, dup := byLine[d.Pos.Line]; dup {
+			t.Errorf("two findings on line %d: %q and %q", d.Pos.Line, prev.Message, d.Message)
+		}
+		byLine[d.Pos.Line] = d
+	}
+	for _, w := range want {
+		d, ok := byLine[w.line]
+		if !ok {
+			t.Errorf("missing finding on line %d (want message containing %q)", w.line, w.substr)
+			continue
+		}
+		if !strings.Contains(d.Message, w.substr) {
+			t.Errorf("line %d: message %q does not contain %q", w.line, d.Message, w.substr)
+		}
+		delete(byLine, w.line)
+	}
+	for line, d := range byLine {
+		t.Errorf("unexpected finding on line %d: %s", line, d.Message)
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["floatbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{FloatCmpAnalyzer})
+	checkDiags(t, got, []expectation{
+		{3, "compared with =="},
+		{4, "compared with !="},
+		{6, "math.IsNaN"},
+		{11, "compared with =="},
+		{15, "non-constant case y"},
+	})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["errbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{ErrDropAnalyzer})
+	checkDiags(t, got, []expectation{
+		{12, "fails returns an error"},
+		{13, "fails returns an error"},
+		{14, "fails returns an error"},
+		{23, "fmt.Fprintln returns an error"},
+	})
+}
+
+func TestPanicStyleFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["panicbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{PanicStyleAnalyzer})
+	checkDiags(t, got, []expectation{
+		{7, `must start with "panicbad: "`},
+		{9, `must start with "panicbad: "`},
+	})
+}
+
+func TestMutexCopyFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["mutexbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{MutexCopyAnalyzer})
+	checkDiags(t, got, []expectation{
+		{10, "parameter of type mutexbad.Guarded"},
+		{13, "assignment copies lock value"},
+		{15, "call passes lock by value"},
+		{18, "call passes lock by value"},
+		{21, "parameter of type sync.WaitGroup"},
+	})
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	pkg := fixturePkgs(t)["ignored"]
+	got := Run([]*Package{pkg}, []*Analyzer{FloatCmpAnalyzer})
+	// Only the directive without a justification and the one naming the
+	// wrong analyzer fail to suppress.
+	checkDiags(t, got, []expectation{
+		{13, "compared with =="},
+		{17, "compared with =="},
+	})
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//pftklint:ignore floatcmp because reasons", []string{"floatcmp"}},
+		{"//pftklint:ignore floatcmp,errdrop shared justification", []string{"floatcmp", "errdrop"}},
+		{"//pftklint:ignore floatcmp", nil}, // no justification: not honoured
+		{"// pftklint:ignore floatcmp why", nil},
+		{"// ordinary comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseIgnore(c.text)
+		if (c.want == nil) != !ok {
+			t.Errorf("parseIgnore(%q) ok=%v, want %v", c.text, ok, c.want != nil)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint([]string(c.want)) && c.want != nil {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName of an unknown name must be nil")
+	}
+}

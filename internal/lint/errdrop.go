@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags calls whose error result is silently discarded:
+// a call used as a bare statement (or in defer/go) when its signature
+// includes an error result. Explicitly assigning the error to the blank
+// identifier (_ = f(), n, _ := f()) is an intentional, reviewable
+// decision and is not flagged.
+//
+// Two narrow exemptions keep the rule precise rather than noisy:
+//
+//   - fmt.Print, fmt.Printf and fmt.Println (the stdout convenience
+//     printers used by the runnable examples): demo output has no
+//     sensible recovery from a stdout write failure. Commands that need
+//     output integrity write to an io.Writer via fmt.Fprint* — which IS
+//     flagged — or through cli.Writer's sticky error.
+//   - writes through fmt.Fprint* to *strings.Builder or *bytes.Buffer,
+//     and method calls on those two types: their Write can never fail,
+//     so the error result is vacuous.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error results",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil || !returnsError(info, call) || infallibleWriter(info, call) || stdoutPrinter(info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign it to _ explicitly", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's signature includes a result of
+// type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin, conversion
+	}
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether the discarded error provably cannot be
+// non-nil: fmt.Fprint/Fprintf/Fprintln writing to a *strings.Builder or
+// *bytes.Buffer, or a method called directly on one of those types.
+func infallibleWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method on an infallible buffer: b.WriteString(...), b.WriteByte(...)
+	if recv, ok := info.Types[sel.X]; ok && recv.Type != nil && isInfallibleBuffer(recv.Type) {
+		return true
+	}
+	// fmt.Fprint* with an infallible buffer as the writer.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 {
+					if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil && isInfallibleBuffer(tv.Type) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// stdoutPrinter reports whether the call is one of fmt's stdout
+// convenience printers (Print, Printf, Println).
+func stdoutPrinter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+// isInfallibleBuffer reports whether t is *strings.Builder or
+// *bytes.Buffer (or the bare named type, for completeness).
+func isInfallibleBuffer(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callName renders the called function for the message.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point expressions
+// where neither side is a compile-time constant, plus non-constant case
+// expressions in a switch over a float. The PFTK model code clamps its
+// inputs to exact sentinels (clampP maps out-of-domain p to exactly 0 or
+// 1), so comparing a float against a *constant* is a deliberate,
+// well-defined idiom; comparing two computed floats almost never is —
+// that is how the Eq. (30)-style divergences Zaragoza describes sneak in.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between non-constant floating-point expressions",
+	Run:  runFloatCmp,
+}
+
+// isFloat reports whether t is (or has underlying) float32/float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// exprString renders an expression compactly for messages and for the
+// structural x==x comparison.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+func runFloatCmp(p *Pass) {
+	info := p.Pkg.Info
+	floatOperand := func(e ast.Expr) (isF bool, isConst bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false, false
+		}
+		return isFloat(tv.Type), tv.Value != nil
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xf, xc := floatOperand(n.X)
+				yf, yc := floatOperand(n.Y)
+				if !xf && !yf {
+					return true
+				}
+				if xc || yc {
+					return true // sentinel comparison against a constant
+				}
+				xs := exprString(p.Pkg.Fset, n.X)
+				ys := exprString(p.Pkg.Fset, n.Y)
+				if xs == ys {
+					p.Reportf(n.OpPos, "self-comparison %s %s %s of a float; use math.IsNaN", xs, n.Op, ys)
+					return true
+				}
+				p.Reportf(n.OpPos, "floating-point values %s and %s compared with %s; compare against an explicit sentinel constant or use a tolerance", xs, ys, n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tf, _ := floatOperand(n.Tag)
+				if !tf {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if _, c := floatOperand(e); !c {
+							p.Reportf(e.Pos(), "non-constant case %s in switch over floating-point %s", exprString(p.Pkg.Fset, e), exprString(p.Pkg.Fset, n.Tag))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

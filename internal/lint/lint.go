@@ -1,0 +1,180 @@
+// Package lint implements pftklint, the project's static-analysis suite
+// for the PFTK numerics, built entirely on the standard library's go/ast,
+// go/parser, go/token and go/types packages.
+//
+// The analyzers encode project-specific correctness rules that go vet
+// cannot know about:
+//
+//   - floatcmp: ==/!= between non-constant floating-point expressions
+//     (the model's domain is pure float math; exact equality is only
+//     meaningful against explicitly assigned sentinels, which compare
+//     against constants and are therefore allowed).
+//   - errdrop: discarded error results in non-test code.
+//   - panicstyle: panic messages must carry the "<pkg>: " prefix.
+//   - mutexcopy: sync.Mutex-bearing values passed or copied by value.
+//
+// A diagnostic can be suppressed at a specific site with a directive
+// comment on, or on the line before, the offending line:
+//
+//	//pftklint:ignore floatcmp exact comparison is intended here
+//
+// The first word after "ignore" is the analyzer name (or a
+// comma-separated list); the rest is a mandatory justification. Adding a
+// new analyzer means writing one file with a Run(*Pass) function and
+// appending it to Analyzers — see DESIGN.md's "Correctness tooling"
+// section.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{
+	FloatCmpAnalyzer,
+	ErrDropAnalyzer,
+	PanicStyleAnalyzer,
+	MutexCopyAnalyzer,
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the name of the pass that produced the finding.
+	Analyzer string
+	// Pos locates the finding in the source.
+	Pos token.Position
+	// Message describes the problem.
+	Message string
+}
+
+// String formats the diagnostic the way compilers do:
+// file:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics sorted by position. Findings suppressed by
+// //pftklint:ignore directives are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = filterIgnored(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) site.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterIgnored drops diagnostics matched by an ignore directive on the
+// same line or the line directly above.
+func filterIgnored(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	ignores := map[ignoreKey]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, n := range names {
+						ignores[ignoreKey{pos.Filename, pos.Line, n}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseIgnore recognizes "//pftklint:ignore name[,name...] justification"
+// directives. A directive without a justification is not honoured: the
+// whole point of an ignore is recording why the rule does not apply.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//pftklint:ignore")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // missing analyzer list or justification
+	}
+	return strings.Split(fields[0], ","), true
+}

@@ -1,0 +1,422 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed source files, with comments.
+	Files []*ast.File
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// Loader discovers, parses and type-checks every package of a Go module
+// using only the standard library: go/parser for syntax, go/types with the
+// "source" importer for semantics, and go/build/constraint for build-tag
+// evaluation. It deliberately avoids golang.org/x/tools/go/packages to
+// honour the repository's zero-dependency constraint.
+//
+// Limitations (acceptable for a single self-contained module): external
+// test packages (package foo_test) are never loaded, cgo is not supported,
+// and only the default build configuration (host GOOS/GOARCH, no extra
+// tags) is analyzed.
+type Loader struct {
+	// IncludeTests also loads in-package _test.go files.
+	IncludeTests bool
+	// Tags are extra build tags considered satisfied (beyond GOOS,
+	// GOARCH, "gc" and go1.N version tags).
+	Tags []string
+
+	fset    *token.FileSet
+	root    string // absolute module root (directory of go.mod)
+	modPath string // module path from go.mod
+	pkgs    map[string]*Package
+	loading map[string]bool // import-cycle detection
+	std     types.Importer  // stdlib fallback (source importer)
+}
+
+// NewLoader returns a Loader rooted at the module containing dir: it walks
+// up from dir until it finds a go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// skippedDir reports whether a directory is never descended into: VCS and
+// tool metadata, testdata fixtures, generated results and vendored code.
+func skippedDir(name string) bool {
+	if name == "" {
+		return true
+	}
+	if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return true
+	}
+	switch name {
+	case "testdata", "vendor", "results":
+		return true
+	}
+	return false
+}
+
+// LoadAll loads every package under the module root and returns them
+// sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != l.root && skippedDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		names, err := l.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads the package in a single directory (which must live inside
+// the module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.root)
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+// importPathDir maps a module-internal import path to its directory.
+func (l *Loader) importPathDir(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	rel := strings.TrimPrefix(path, l.modPath+"/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// local reports whether an import path belongs to the module under
+// analysis.
+func (l *Loader) local(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// Import implements types.Importer, serving module-local packages from the
+// loader and everything else from the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.local(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the module-local package with the given
+// import path, memoizing the result.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.importPathDir(path)
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		n := f.Name.Name
+		if strings.HasSuffix(n, "_test") && n != "test" {
+			// External test package file (package foo_test): never part
+			// of the package proper.
+			continue
+		}
+		if pkgName == "" {
+			pkgName = n
+		} else if n != pkgName {
+			return nil, fmt.Errorf("lint: %s: found packages %s and %s", dir, pkgName, n)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Fset:  l.fset,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// sourceFiles lists the .go files of dir that belong to the analyzed
+// build: test files only when IncludeTests, and build constraints (both
+// //go:build lines and GOOS/GOARCH filename suffixes) evaluated for the
+// host configuration.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		if !l.fileNameOK(name) {
+			continue
+		}
+		ok, err := l.constraintsOK(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// knownOS / knownArch cover the filename-suffix constraint rule; only the
+// values that could plausibly appear in this repository's history are
+// listed, plus the host values.
+var knownOS = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"js": true, "wasip1": true, "android": true, "ios": true, "aix": true,
+}
+
+var knownArch = map[string]bool{
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"riscv64": true, "ppc64": true, "ppc64le": true, "s390x": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"loong64": true, "wasm": true,
+}
+
+// fileNameOK applies the GOOS/GOARCH filename suffix rule.
+func (l *Loader) fileNameOK(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) == 0 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 2 && knownOS[parts[len(parts)-2]] && parts[len(parts)-2] != runtime.GOOS {
+			return false
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// constraintsOK evaluates a file's //go:build line (if any) against the
+// host configuration and the loader's extra tags.
+func (l *Loader) constraintsOK(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	// The //go:build line must appear before the package clause; scanning
+	// the raw lines up to the first "package " declaration is sufficient
+	// and avoids a second full parse.
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false, fmt.Errorf("lint: %s: %w", path, err)
+			}
+			return expr.Eval(l.tagOK), nil
+		}
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+	}
+	return true, nil
+}
+
+// tagOK reports whether a build tag is satisfied in the analyzed
+// configuration.
+func (l *Loader) tagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "android", "ios":
+			return true
+		}
+		return false
+	}
+	if v, ok := strings.CutPrefix(tag, "go1."); ok {
+		// All release tags up to the toolchain's own version are true;
+		// parsing runtime.Version is overkill for a repo pinned far
+		// below it, so accept every well-formed go1.N tag.
+		for _, r := range v {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return v != ""
+	}
+	for _, t := range l.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}

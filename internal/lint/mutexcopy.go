@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopyAnalyzer flags values that contain a lock (sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, sync.Once, or any type whose pointer —
+// but not value — method set has a Lock method) being copied: by-value
+// function parameters, receivers and results, plain-assignment copies of
+// existing values, and by-value call arguments. A copied mutex guards
+// nothing; the calibration cache in internal/hosts is exactly the kind of
+// shared state where such a copy silently removes all mutual exclusion.
+//
+// Initializing a fresh value (composite literals, new calls) is fine and
+// is not flagged.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags sync.Mutex-bearing values passed or copied by value",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldList(p, n.Recv, "receiver")
+				}
+				checkFuncType(p, n.Type)
+			case *ast.FuncLit:
+				checkFuncType(p, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if !copiesExisting(rhs) {
+						continue
+					}
+					if tv, ok := info.Types[rhs]; ok && tv.Type != nil && containsLock(tv.Type) {
+						p.Reportf(rhs.Pos(), "assignment copies lock value: %s is (or contains) a mutex; use a pointer", typeString(tv.Type))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if !copiesExisting(arg) {
+						continue
+					}
+					if tv, ok := info.Types[arg]; ok && tv.Type != nil && containsLock(tv.Type) {
+						p.Reportf(arg.Pos(), "call passes lock by value: %s is (or contains) a mutex; pass a pointer", typeString(tv.Type))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncType flags lock-bearing by-value parameters and results.
+func checkFuncType(p *Pass, ft *ast.FuncType) {
+	checkFieldList(p, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkFieldList(p, ft.Results, "result")
+	}
+}
+
+// checkFieldList flags fields whose declared (non-pointer) type contains
+// a lock.
+func checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(tv.Type) {
+			p.Reportf(field.Type.Pos(), "%s of type %s carries a mutex by value; use a pointer", kind, typeString(tv.Type))
+		}
+	}
+}
+
+// copiesExisting reports whether evaluating e copies an already-live
+// value (as opposed to constructing a new one or yielding a pointer).
+func copiesExisting(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesExisting(e.X)
+	default:
+		return false
+	}
+}
+
+// containsLock reports whether t is, or transitively embeds by value, a
+// type whose pointer method set — but not value method set — has a Lock
+// method (the sync.Locker shape of sync.Mutex, RWMutex, WaitGroup, Once,
+// and hand-rolled equivalents).
+func containsLock(t types.Type) bool {
+	return lockSearch(t, map[types.Type]bool{})
+}
+
+func lockSearch(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if hasPointerLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockSearch(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockSearch(u.Elem(), seen)
+	}
+	return false
+}
+
+// hasPointerLock reports whether *t has a Lock method that t itself does
+// not (i.e. copying t would detach it from its lock identity).
+func hasPointerLock(t types.Type) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	ptrHas := types.NewMethodSet(types.NewPointer(t)).Lookup(nil, "Lock") != nil
+	valHas := types.NewMethodSet(t).Lookup(nil, "Lock") != nil
+	return ptrHas && !valHas
+}
+
+// typeString renders a type without the full package path clutter.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

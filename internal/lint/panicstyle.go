@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicStyleAnalyzer enforces the repository's panic-message convention:
+// a panic whose message is (or starts with) a compile-time string must
+// carry the "<pkg>: " prefix, as internal/stats and internal/sim already
+// do ("stats: histogram needs at least one bin"). The prefix is what lets
+// a production stack trace be attributed without reading frames.
+//
+// Only statically-known message heads are checked: string constants,
+// constant-headed concatenations ("hosts: missing pair " + n), and
+// fmt.Sprintf/Sprint/Errorf calls with a constant first argument.
+// panic(err) and other dynamic values are exempt, as is package main
+// (commands prefix their own name at the top level instead).
+var PanicStyleAnalyzer = &Analyzer{
+	Name: "panicstyle",
+	Doc:  "panic messages must carry the \"<pkg>: \" prefix",
+	Run:  runPanicStyle,
+}
+
+func runPanicStyle(p *Pass) {
+	pkgName := p.Pkg.Types.Name()
+	if pkgName == "main" {
+		return
+	}
+	prefix := pkgName + ": "
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			msg, known := messageHead(info, call.Args[0])
+			if !known {
+				return true
+			}
+			if !strings.HasPrefix(msg, prefix) {
+				p.Reportf(call.Pos(), "panic message %q must start with %q", truncate(msg, 40), prefix)
+			}
+			return true
+		})
+	}
+}
+
+// messageHead extracts the statically-known leading text of a panic
+// argument, reporting ok=false when nothing about the head is known at
+// compile time.
+func messageHead(info *types.Info, e ast.Expr) (string, bool) {
+	// Whole expression constant-folds to a string (covers literals,
+	// named constants and constant concatenations).
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		// "prefix: detail " + dynamic — the head is the left operand.
+		return messageHead(info, e.X)
+	case *ast.CallExpr:
+		// fmt.Sprintf("prefix: ...", args...) and friends.
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || len(e.Args) == 0 {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		pkg, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "fmt" {
+			return "", false
+		}
+		switch sel.Sel.Name {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			return messageHead(info, e.Args[0])
+		}
+	}
+	return "", false
+}
+
+// truncate shortens long messages in diagnostics.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

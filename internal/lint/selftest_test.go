@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLintSelf runs the full analyzer suite over this repository itself,
+// so `go test ./...` fails the moment a violation lands anywhere in the
+// module. This is the always-on equivalent of `go run ./cmd/pftklint ./...`.
+func TestLintSelf(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	if loader.ModulePath() != "pftk" {
+		t.Fatalf("module path = %q, want pftk (loader rooted in the wrong module?)", loader.ModulePath())
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded; the walk is missing most of the module", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers) {
+		t.Errorf("%s", d)
+	}
+}

@@ -337,8 +337,8 @@ func (s *Sender) setCwnd(w float64) {
 	if w < 1 {
 		w = 1
 	}
-	if w == s.cwnd {
-		return
+	if w-s.cwnd == 0 {
+		return // no-op update: suppress a duplicate trace record
 	}
 	s.cwnd = w
 	if s.cfg.TraceCwnd {

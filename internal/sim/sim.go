@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"pftk/internal/invariant"
 )
 
 // Event is a scheduled callback.
@@ -35,8 +37,13 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	// Ordered comparisons only: ties (exactly equal times) fall through
+	// to the FIFO sequence number, without a raw float equality test.
+	if h[i].at < h[j].at {
+		return true
+	}
+	if h[i].at > h[j].at {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }
@@ -82,6 +89,12 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Now) panics — it would silently corrupt causality. Simultaneous events
 // fire in scheduling order.
 func (e *Engine) Schedule(at float64, fn func()) *Event {
+	if invariant.Enabled {
+		// Stricter than the NaN/past check below: +Inf event times are
+		// legal (they simply never fire before any finite deadline) but
+		// almost always indicate a broken delay computation upstream.
+		invariant.Finite("sim: event time", at)
+	}
 	if math.IsNaN(at) || at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
 	}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"pftk/internal/invariant"
 )
 
 // Running accumulates count, mean and variance in one pass using
@@ -20,8 +22,13 @@ type Running struct {
 	max  float64
 }
 
-// Add incorporates one observation.
+// Add incorporates one observation. A NaN or ±Inf observation poisons
+// the accumulator deterministically (Mean, Var and Std become NaN and
+// stay NaN); under the pftkinvariants build tag it panics instead.
 func (r *Running) Add(x float64) {
+	if invariant.Enabled {
+		invariant.Finite("stats: sample", x)
+	}
 	if r.n == 0 {
 		r.min, r.max = x, x
 	} else {
@@ -130,10 +137,18 @@ func Correlation(xs, ys []float64) float64 {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. It returns NaN for an empty
-// slice or out-of-range q. xs is not modified.
+// slice, out-of-range q, or when any sample is NaN — sorting a slice
+// containing NaN would otherwise make the result depend on the input
+// order, the kind of nondeterminism that corrupts regenerated tables
+// silently. xs is not modified.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

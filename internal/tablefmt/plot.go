@@ -70,10 +70,12 @@ func (f *Figure) ASCIIPlot(o PlotOptions) string {
 	if minX > maxX || minY > maxY {
 		return f.Title + "\n(no plottable points)\n"
 	}
-	if maxX == minX {
+	// Degenerate ranges: a zero-width span (difference exactly 0 after
+	// the inversion guard above) gets a unit span so division is safe.
+	if maxX-minX == 0 {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY-minY == 0 {
 		maxY = minY + 1
 	}
 

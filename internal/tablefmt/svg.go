@@ -82,10 +82,12 @@ func (f *Figure) WriteSVG(w io.Writer, o SVGOptions) error {
 		_, err := io.WriteString(w, b.String())
 		return err
 	}
-	if maxX == minX {
+	// Degenerate ranges: a zero-width span (difference exactly 0 after
+	// the inversion guard above) gets a unit span so division is safe.
+	if maxX-minX == 0 {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY-minY == 0 {
 		maxY = minY + 1
 	}
 
