@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmtcheck vet lint invariants check clean
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmtcheck vet lint invariants obs-smoke check clean
 
 all: build test
 
@@ -65,8 +65,18 @@ invariants:
 	$(GO) build -tags pftkinvariants ./...
 	$(GO) test -tags pftkinvariants ./internal/invariant
 
+# End-to-end observability smoke test: run an abbreviated campaign with
+# live progress and a JSONL metric export, then validate the produced
+# manifest.json and metrics against the documented schema with -checkobs.
+obs-smoke:
+	rm -rf obs-smoke-out
+	$(GO) run ./cmd/experiments -run table2 -hour 60 \
+		-out obs-smoke-out -metrics obs-smoke-out/metrics.jsonl -progress >/dev/null
+	$(GO) run ./cmd/experiments -checkobs obs-smoke-out
+	rm -rf obs-smoke-out
+
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants
+check: build vet fmtcheck lint test race invariants obs-smoke
 
 clean:
-	rm -rf results
+	rm -rf results obs-smoke-out

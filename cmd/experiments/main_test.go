@@ -2,15 +2,17 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"pftk/internal/experiments"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig12"}, &out); err != nil {
+	if err := run([]string{"-run", "fig12"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -21,7 +23,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+	if err := run([]string{"-run", "fig99"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -29,7 +31,7 @@ func TestUnknownExperiment(t *testing.T) {
 func TestCSVExport(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "results")
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig13", "-out", dir}, &out); err != nil {
+	if err := run([]string{"-run", "fig13", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -50,7 +52,7 @@ func TestCSVExport(t *testing.T) {
 
 func TestScaledCampaign(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-run", "table2", "-hour", "200"}, &out)
+	err := run([]string{"-run", "table2", "-hour", "200"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestScaledCampaign(t *testing.T) {
 func TestSVGAndHTMLExport(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "r")
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig12", "-out", dir}, &out); err != nil {
+	if err := run([]string{"-run", "fig12", "-out", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	svg, err := os.ReadFile(filepath.Join(dir, "fig12_fig0.svg"))
@@ -81,5 +83,102 @@ func TestSVGAndHTMLExport(t *testing.T) {
 		if !strings.Contains(page, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+// TestUnknownExperimentListsIDs pins the self-correcting error: a typo'd
+// -run value must produce an error naming every valid experiment ID.
+func TestUnknownExperimentListsIDs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-run", "fig99"}, &out, io.Discard)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error %q does not list valid id %q", msg, id)
+		}
+	}
+}
+
+// TestVersionFlag checks -version prints and exits cleanly.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "experiments ") {
+		t.Errorf("version output malformed: %q", out.String())
+	}
+}
+
+// TestMetricsManifestAndCheckObs is the end-to-end observability path:
+// run an abbreviated campaign with -metrics/-progress/-out, then validate
+// the produced directory with -checkobs (the obs-smoke contract).
+func TestMetricsManifestAndCheckObs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	metrics := filepath.Join(dir, "metrics.jsonl")
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-run", "table2", "-hour", "60",
+		"-out", dir, "-metrics", metrics, "-progress",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "hour campaign") {
+		t.Errorf("no progress lines on stderr:\n%s", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "metric records written") {
+		t.Errorf("no metrics summary on stdout:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	for _, want := range []string{`"tool": "experiments"`, `"id": "table2"`, `"metrics_file"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("manifest missing %s:\n%s", want, data)
+		}
+	}
+
+	var check bytes.Buffer
+	if err := run([]string{"-checkobs", dir}, &check, io.Discard); err != nil {
+		t.Fatalf("checkobs rejected a fresh results dir: %v", err)
+	}
+	s := check.String()
+	if !strings.Contains(s, "manifest ok") || !strings.Contains(s, "metrics ok") {
+		t.Errorf("checkobs output incomplete:\n%s", s)
+	}
+}
+
+// TestCheckObsRejectsGarbage confirms validation actually fails on a
+// malformed directory.
+func TestCheckObsRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"schema_version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-checkobs", dir}, &out, io.Discard); err == nil {
+		t.Error("bad manifest accepted")
+	}
+	if err := run([]string{"-checkobs", t.TempDir()}, &out, io.Discard); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+// TestDebugAddr spins up the diagnostics server on a random port and
+// fetches expvar.
+func TestDebugAddr(t *testing.T) {
+	var out bytes.Buffer
+	var errBuf bytes.Buffer
+	if err := run([]string{"-run", "fig12", "-debugaddr", "127.0.0.1:0"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "debug server on http://") {
+		t.Errorf("debug address not announced:\n%s", errBuf.String())
 	}
 }

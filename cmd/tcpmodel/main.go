@@ -20,6 +20,7 @@ import (
 	"pftk"
 	"pftk/internal/cli"
 	"pftk/internal/core"
+	"pftk/internal/obs"
 )
 
 func main() {
@@ -35,18 +36,24 @@ var errUsage = fmt.Errorf("no action requested: pass -p, -curve or -invert")
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tcpmodel", flag.ContinueOnError)
 	var (
-		rtt    = fs.Float64("rtt", 0.2, "average round trip time in seconds")
-		t0     = fs.Float64("t0", 2.0, "average first timeout duration in seconds")
-		wm     = fs.Float64("wm", 0, "receiver window in packets (0 = unlimited)")
-		b      = fs.Int("b", 2, "packets acknowledged per ACK (delayed ACKs: 2)")
-		p      = fs.Float64("p", -1, "evaluate the models at this loss rate")
-		curve  = fs.String("curve", "", "sample a curve: pmin:pmax:points")
-		model  = fs.String("model", "all", "model: full, approx, tdonly, throughput, or all")
-		invert = fs.Float64("invert", -1, "find the loss rate achieving this rate (pkts/s)")
-		regime = fs.Bool("regime", false, "with -p: also report the operating regime and input sensitivities")
+		rtt     = fs.Float64("rtt", 0.2, "average round trip time in seconds")
+		t0      = fs.Float64("t0", 2.0, "average first timeout duration in seconds")
+		wm      = fs.Float64("wm", 0, "receiver window in packets (0 = unlimited)")
+		b       = fs.Int("b", 2, "packets acknowledged per ACK (delayed ACKs: 2)")
+		p       = fs.Float64("p", -1, "evaluate the models at this loss rate")
+		curve   = fs.String("curve", "", "sample a curve: pmin:pmax:points")
+		model   = fs.String("model", "all", "model: full, approx, tdonly, throughput, or all")
+		invert  = fs.Float64("invert", -1, "find the loss rate achieving this rate (pkts/s)")
+		regime  = fs.Bool("regime", false, "with -p: also report the operating regime and input sensitivities")
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		vw := cli.NewWriter(out)
+		vw.Printf("tcpmodel %s\n", obs.BuildVersion())
+		return vw.Err()
 	}
 
 	params := pftk.Params{RTT: *rtt, T0: *t0, Wm: *wm, B: *b}

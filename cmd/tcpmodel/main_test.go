@@ -101,3 +101,14 @@ func TestRegimeFlag(t *testing.T) {
 		t.Errorf("elasticities missing:\n%s", s)
 	}
 }
+
+// TestVersionFlag checks -version prints the build identity.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tcpmodel ") {
+		t.Errorf("version output malformed: %q", out.String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"pftk/internal/analysis"
 	"pftk/internal/cli"
 	"pftk/internal/core"
+	"pftk/internal/obs"
 	"pftk/internal/tablefmt"
 	"pftk/internal/trace"
 )
@@ -42,9 +43,15 @@ func run(args []string, out io.Writer) error {
 		wm        = fs.Float64("wm", 0, "receiver window for model predictions (0 = unlimited)")
 		format    = fs.String("format", "binary", "input format: binary, jsonl or tcpdump")
 		flight    = fs.Bool("flight", false, "also report the reconstructed flight statistics and idle fraction")
+		version   = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		w := cli.NewWriter(out)
+		w.Printf("traceanal %s\n", obs.BuildVersion())
+		return w.Err()
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: traceanal [flags] <trace-file>")

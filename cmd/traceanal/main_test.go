@@ -138,3 +138,14 @@ func TestFlightFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionFlag checks -version prints the build identity.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "traceanal ") {
+		t.Errorf("version output malformed: %q", out.String())
+	}
+}

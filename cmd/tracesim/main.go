@@ -16,6 +16,7 @@ import (
 
 	"pftk"
 	"pftk/internal/cli"
+	"pftk/internal/obs"
 	"pftk/internal/trace"
 )
 
@@ -39,9 +40,23 @@ func run(args []string, stdout io.Writer) error {
 		variant = fs.String("variant", "reno", "sender TCP flavor: reno, tahoe, linux, irix, newreno")
 		out     = fs.String("o", "", "output trace file (default stdout summary only)")
 		format  = fs.String("format", "binary", "trace format: binary, jsonl or tcpdump")
+		debug   = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0) while running")
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		w := cli.NewWriter(stdout)
+		w.Printf("tracesim %s\n", obs.BuildVersion())
+		return w.Err()
+	}
+	if *debug != "" {
+		addr, err := obs.ServeDebug(*debug, nil)
+		if err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/\n", addr)
 	}
 
 	res := pftk.Simulate(pftk.SimConfig{

@@ -86,3 +86,23 @@ func TestDeterministicSeed(t *testing.T) {
 		t.Error("same seed produced different output")
 	}
 }
+
+// TestVersionFlag checks -version prints the build identity and exits
+// without simulating.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tracesim ") {
+		t.Errorf("version output malformed: %q", out.String())
+	}
+}
+
+// TestDebugAddr starts the diagnostics endpoint on an ephemeral port.
+func TestDebugAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "5", "-debugaddr", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

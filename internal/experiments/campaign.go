@@ -12,11 +12,16 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"pftk/internal/analysis"
 	"pftk/internal/core"
 	"pftk/internal/hosts"
+	"pftk/internal/netem"
+	"pftk/internal/obs"
 	"pftk/internal/reno"
+	"pftk/internal/sim"
 	"pftk/internal/tablefmt"
 )
 
@@ -35,7 +40,21 @@ type Options struct {
 	IntervalWidth float64
 	// Salt perturbs all random streams.
 	Salt uint64
+	// Obs enables per-run metric collection: every PairRun then carries
+	// the obs.Snapshot of its private registry (engine event counts,
+	// link drops by cause, sender cwnd/indication/backoff metrics).
+	// Implied by a non-nil Metrics writer.
+	Obs bool
+	// Progress, when non-nil, receives live per-pair/per-trace progress
+	// lines with an ETA (campaign tools pass stderr).
+	Progress io.Writer
+	// Metrics, when non-nil, receives one obs.RunRecord per simulated
+	// trace — the JSONL export behind `experiments -metrics`.
+	Metrics *obs.JSONLWriter
 }
+
+// obsEnabled reports whether runs should collect metrics.
+func (o Options) obsEnabled() bool { return o.Obs || o.Metrics != nil }
 
 // DefaultOptions reproduces the paper's campaign dimensions.
 func DefaultOptions() Options {
@@ -71,6 +90,12 @@ type PairRun struct {
 	Events    []analysis.LossEvent
 	Summary   analysis.Summary
 	Intervals []analysis.Interval
+	// Obs is the run's metric snapshot; nil unless Options.Obs (or a
+	// metrics writer) was set.
+	Obs *obs.Snapshot
+	// WallSeconds is the wall-clock cost of simulating and analyzing
+	// the trace.
+	WallSeconds float64
 }
 
 // Params returns the model parameters measured from the run, following
@@ -92,16 +117,75 @@ func (pr PairRun) Params() core.Params {
 // fitting its drop process to the published loss rate) and analyzes its
 // trace with the wire-level inference pipeline.
 func RunPair(p hosts.Pair, duration float64, salt uint64, intervalWidth float64) PairRun {
+	return runPair(p, duration, salt, intervalWidth, nil)
+}
+
+// RunPairObserved is RunPair with metric collection on reg (nil disables
+// it): the engine, both link directions and the sender are instrumented,
+// and the returned PairRun carries the registry's final snapshot.
+func RunPairObserved(p hosts.Pair, duration float64, salt uint64, intervalWidth float64, reg *obs.Registry) PairRun {
+	return runPair(p, duration, salt, intervalWidth, reg)
+}
+
+// engineHooks is the standard engine wiring: total events fired, queue
+// depth high-water mark, and cancels, all into preallocated handles.
+func engineHooks(reg *obs.Registry) sim.Hooks {
+	events := reg.Counter("sim.events")
+	depth := reg.Gauge("sim.queue.depth")
+	cancels := reg.Counter("sim.cancels")
+	return sim.Hooks{
+		EventFired: func(_ float64, pending int) {
+			events.Inc()
+			depth.Set(float64(pending))
+		},
+		Scheduled: func(_ float64, pending int) { depth.Set(float64(pending)) },
+		Cancelled: func() { cancels.Inc() },
+	}
+}
+
+func runPair(p hosts.Pair, duration float64, salt uint64, intervalWidth float64, reg *obs.Registry) PairRun {
+	start := time.Now()
 	p = hosts.CalibratedPair(p, hosts.CalibrateOptions{})
-	res := reno.RunConnection(p.ConnConfig(salt), duration)
+	cfg := p.ConnConfig(salt)
+	var eng sim.Engine
+	if reg != nil {
+		cfg.Sender.Metrics = reno.NewMetrics(reg)
+		cfg.Path.Forward.Metrics = netem.NewLinkMetrics(reg, "netem.fwd")
+		cfg.Path.Reverse.Metrics = netem.NewLinkMetrics(reg, "netem.rev")
+		eng.SetHooks(engineHooks(reg))
+	}
+	res := reno.NewConnection(&eng, cfg).Run(duration)
 	events := analysis.InferLossEvents(res.Trace, p.SenderVariant().DupThreshold)
-	return PairRun{
+	pr := PairRun{
 		Pair:      p,
 		Result:    res,
 		Events:    events,
 		Summary:   analysis.Summarize(res.Trace, events),
 		Intervals: analysis.Intervals(res.Trace, events, intervalWidth),
 	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		pr.Obs = &snap
+	}
+	pr.WallSeconds = time.Since(start).Seconds()
+	return pr
+}
+
+// record exports one finished run to the campaign's metrics writer, when
+// configured. Export failures are swallowed here and surface through the
+// writer's sticky error at Flush time.
+func (o Options) record(experiment string, trace int, duration float64, pr PairRun) {
+	if o.Metrics == nil || pr.Obs == nil {
+		return
+	}
+	_ = o.Metrics.Write(obs.RunRecord{
+		Experiment:  experiment,
+		Pair:        pr.Pair.Name(),
+		Trace:       trace,
+		SimSeconds:  duration,
+		WallSeconds: pr.WallSeconds,
+		Metrics:     *pr.Obs,
+	})
 }
 
 // Campaign holds the full 1-hour-per-pair measurement campaign.
@@ -115,9 +199,19 @@ type Campaign struct {
 func RunCampaign(o Options) *Campaign {
 	o = o.normalize()
 	c := &Campaign{Opts: o}
-	for _, p := range hosts.TableII() {
-		c.Runs = append(c.Runs, RunPair(p, o.HourTraceDuration, o.Salt, o.IntervalWidth))
+	pairs := hosts.TableII()
+	prog := obs.NewProgress(o.Progress, "hour campaign", len(pairs))
+	for _, p := range pairs {
+		var reg *obs.Registry
+		if o.obsEnabled() {
+			reg = obs.New()
+		}
+		run := runPair(p, o.HourTraceDuration, o.Salt, o.IntervalWidth, reg)
+		o.record("hour", 0, o.HourTraceDuration, run)
+		c.Runs = append(c.Runs, run)
+		prog.Step(p.Name())
 	}
+	prog.Done()
 	return c
 }
 
@@ -146,15 +240,22 @@ func RunShortCampaign(o Options) *ShortCampaign {
 	o = o.normalize()
 	sc := &ShortCampaign{Opts: o, Pairs: hosts.Fig8Pairs()}
 	sc.Runs = make([][]PairRun, len(sc.Pairs))
+	prog := obs.NewProgress(o.Progress, "short campaign", len(sc.Pairs)*o.ShortTraces)
 	for i, p := range sc.Pairs {
 		runs := make([]PairRun, o.ShortTraces)
 		for j := 0; j < o.ShortTraces; j++ {
-			salt := o.Salt + uint64(i*100000+j+1)
+			var reg *obs.Registry
+			if o.obsEnabled() {
+				reg = obs.New()
+			}
 			// Each short trace is analyzed as a single interval.
-			runs[j] = RunPair(p, o.ShortTraceDuration, salt, o.ShortTraceDuration)
+			runs[j] = runPair(p, o.ShortTraceDuration, TraceSalt(o.Salt, i, j), o.ShortTraceDuration, reg)
+			o.record("short", j, o.ShortTraceDuration, runs[j])
+			prog.Stepf("%s #%d", p.Name(), j+1)
 		}
 		sc.Runs[i] = runs
 	}
+	prog.Done()
 	return sc
 }
 

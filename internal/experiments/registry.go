@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Runner regenerates one paper artifact.
@@ -37,11 +39,13 @@ func IDs() []string {
 	return out
 }
 
-// Get returns the runner for an experiment ID.
+// Get returns the runner for an experiment ID. The error for an unknown
+// ID lists every valid one, so a CLI typo is self-correcting.
 func Get(id string) (Runner, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q; valid ids: %s",
+			id, strings.Join(IDs(), ", "))
 	}
 	return r, nil
 }
@@ -50,24 +54,52 @@ func Get(id string) (Runner, error) {
 // are executed once and shared between the experiments that consume them
 // (Table II + Fig. 9, and Fig. 8 + Fig. 10).
 func RunAll(o Options) []*Report {
+	return RunAllTimed(o, nil)
+}
+
+// RunAllTimed is RunAll with a per-artifact completion callback: onDone
+// (when non-nil) receives each finished report and its wall-clock cost.
+// The campaign tools use it to stamp run manifests.
+func RunAllTimed(o Options, onDone func(r *Report, wallSeconds float64)) []*Report {
 	o = o.normalize()
+	start := time.Now()
 	long := RunCampaign(o)
 	short := RunShortCampaign(o)
-	return []*Report{
-		Table1(o),
-		table2From(long),
-		Fig7(o),
-		fig8From(short),
-		fig9From(long),
-		fig10From(short),
-		Fig11(o),
-		Fig12(o),
-		Fig13(o),
-		Correlation(o),
-		LossModels(o),
-		ShortFlows(o),
-		Fairness(o),
-		Regimes(o),
-		Evolution(o),
+	campaignCost := time.Since(start).Seconds()
+	steps := []struct {
+		id  string
+		run func() *Report
+	}{
+		{"table1", func() *Report { return Table1(o) }},
+		{"table2", func() *Report { return table2From(long) }},
+		{"fig7", func() *Report { return Fig7(o) }},
+		{"fig8", func() *Report { return fig8From(short) }},
+		{"fig9", func() *Report { return fig9From(long) }},
+		{"fig10", func() *Report { return fig10From(short) }},
+		{"fig11", func() *Report { return Fig11(o) }},
+		{"fig12", func() *Report { return Fig12(o) }},
+		{"fig13", func() *Report { return Fig13(o) }},
+		{"correlation", func() *Report { return Correlation(o) }},
+		{"lossmodels", func() *Report { return LossModels(o) }},
+		{"shortflows", func() *Report { return ShortFlows(o) }},
+		{"fairness", func() *Report { return Fairness(o) }},
+		{"regimes", func() *Report { return Regimes(o) }},
+		{"evolution", func() *Report { return Evolution(o) }},
 	}
+	out := make([]*Report, 0, len(steps))
+	for _, s := range steps {
+		t0 := time.Now()
+		r := s.run()
+		wall := time.Since(t0).Seconds()
+		// The shared campaigns' cost is attributed to the first artifact
+		// consuming them (Table II) rather than hidden.
+		if s.id == "table2" {
+			wall += campaignCost
+		}
+		out = append(out, r)
+		if onDone != nil {
+			onDone(r, wall)
+		}
+	}
+	return out
 }

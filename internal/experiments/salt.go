@@ -1,0 +1,21 @@
+package experiments
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator: a
+// bijective avalanche mix whose outputs for distinct inputs are distinct
+// and statistically independent.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TraceSalt derives the random-stream salt for connection j of pair i in
+// a multi-trace campaign. Chaining splitmix64 over (base, i, j)
+// guarantees distinct salts for distinct (i, j) — the previous additive
+// scheme (base + i*100000 + j) collided whenever two coordinates summed
+// to the same offset — and decorrelates streams whose coordinates are
+// numerically close.
+func TraceSalt(base uint64, i, j int) uint64 {
+	return splitmix64(splitmix64(splitmix64(base)+uint64(i)) + uint64(j))
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestTraceSaltNoCollisions is the regression test for the short-campaign
+// salt bug: the old derivation (base + i*100000 + j) produced identical
+// salts — hence byte-identical "independent" traces — whenever
+// i1*100000+j1 == i2*100000+j2. TraceSalt must be collision-free across
+// a campaign-shaped grid, and in particular on the exact coordinate pair
+// the additive scheme conflated.
+func TestTraceSaltNoCollisions(t *testing.T) {
+	seen := make(map[uint64][2]int)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 1000; j++ {
+			s := TraceSalt(7, i, j)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("salt collision: (i=%d,j=%d) and (i=%d,j=%d) both map to %#x",
+					prev[0], prev[1], i, j, s)
+			}
+			seen[s] = [2]int{i, j}
+		}
+	}
+
+	// The exact coordinates that collided under the additive scheme:
+	// (i=1, j=0) vs (i=0, j=100000) both gave base+100000.
+	if TraceSalt(7, 1, 0) == TraceSalt(7, 0, 100000) {
+		t.Error("old-scheme collision pair still collides")
+	}
+}
+
+// TestTraceSaltDependsOnBase confirms the campaign salt actually perturbs
+// every derived stream.
+func TestTraceSaltDependsOnBase(t *testing.T) {
+	if TraceSalt(1, 2, 3) == TraceSalt(2, 2, 3) {
+		t.Error("TraceSalt ignores the base salt")
+	}
+	if TraceSalt(0, 0, 0) == TraceSalt(0, 0, 1) {
+		t.Error("TraceSalt ignores j")
+	}
+	if TraceSalt(0, 0, 0) == TraceSalt(0, 1, 0) {
+		t.Error("TraceSalt ignores i")
+	}
+}
+
+// TestShortCampaignTracesDiffer asserts that serial connections of the
+// same pair now evolve independently: with a Bernoulli drop process two
+// traces with distinct salts must (overwhelmingly) differ in length or
+// loss count.
+func TestShortCampaignTracesDiffer(t *testing.T) {
+	o := Options{ShortTraces: 3, ShortTraceDuration: 40, Salt: 9}
+	sc := RunShortCampaign(o)
+	if len(sc.Runs) == 0 || len(sc.Runs[0]) != 3 {
+		t.Fatalf("unexpected campaign shape: %d pairs", len(sc.Runs))
+	}
+	a, b := sc.Runs[0][0].Result.Stats, sc.Runs[0][1].Result.Stats
+	if a == b {
+		t.Errorf("consecutive short traces are byte-identical: %+v", a)
+	}
+}

@@ -89,6 +89,9 @@ type LinkConfig struct {
 	Delay DelayProcess
 	// Loss drops packets before they enter the queue; nil means no loss.
 	Loss LossModel
+	// Metrics holds optional observability handles; the zero value
+	// disables collection (see LinkMetrics).
+	Metrics LinkMetrics
 }
 
 // Link is one unidirectional emulated link: loss model, then a finite-rate
@@ -132,9 +135,11 @@ func (l *Link) Send(payload any, deliver func(any)) {
 		panic("netem: nil deliver callback")
 	}
 	l.stats.Offered++
+	l.cfg.Metrics.Offered.Inc()
 	now := l.eng.Now()
 	if l.cfg.Loss != nil && l.cfg.Loss.Drop(now) {
 		l.stats.RandomDrops++
+		l.cfg.Metrics.LossDrops.Inc()
 		return
 	}
 	if l.cfg.Rate <= 0 {
@@ -144,12 +149,14 @@ func (l *Link) Send(payload any, deliver func(any)) {
 	if l.busy {
 		if len(l.queue) >= l.cfg.QueueCap {
 			l.stats.QueueDrops++
+			l.cfg.Metrics.FIFODrops.Inc()
 			return
 		}
 		l.queue = append(l.queue, queued{payload, deliver})
 		if len(l.queue) > l.stats.MaxQueue {
 			l.stats.MaxQueue = len(l.queue)
 		}
+		l.cfg.Metrics.Queue.Set(float64(len(l.queue)))
 		return
 	}
 	l.serve(payload, deliver)
@@ -167,6 +174,7 @@ func (l *Link) serve(payload any, deliver func(any)) {
 			next := l.queue[0]
 			copy(l.queue, l.queue[1:])
 			l.queue = l.queue[:len(l.queue)-1]
+			l.cfg.Metrics.Queue.Set(float64(len(l.queue)))
 			l.serve(next.payload, next.deliver)
 		} else {
 			l.busy = false
@@ -190,6 +198,7 @@ func (l *Link) propagate(payload any, deliver func(any)) {
 	}
 	l.lastOut = at
 	l.stats.Delivered++
+	l.cfg.Metrics.Delivered.Inc()
 	l.eng.Schedule(at, func() { deliver(payload) })
 }
 

@@ -1,0 +1,38 @@
+package netem
+
+import "pftk/internal/obs"
+
+// LinkMetrics carries the optional observability handles for one link.
+// The zero value (all-nil handles) disables collection at the cost of a
+// nil check per update — the obs-layer contract that keeps the enqueue
+// and drop paths allocation-free when metrics are off.
+//
+// Drops are attributed by cause, which is exactly the decomposition the
+// trace analysis needs to explain loss-indication mixes: LossDrops come
+// from the configured LossModel (the paper's wide-area loss process),
+// FIFODrops from drop-tail overflow, REDDrops from the RED early-drop
+// decision in front of the queue.
+type LinkMetrics struct {
+	Offered   *obs.Counter
+	Delivered *obs.Counter
+	LossDrops *obs.Counter
+	FIFODrops *obs.Counter
+	REDDrops  *obs.Counter
+	// Queue tracks the instantaneous queue occupancy in packets
+	// (excluding the packet in service); its Max is the high-water mark.
+	Queue *obs.Gauge
+}
+
+// NewLinkMetrics registers the standard link metrics on r under prefix
+// (e.g. "netem.fwd"), returning the handle bundle. A nil registry yields
+// the all-nil (disabled) bundle.
+func NewLinkMetrics(r *obs.Registry, prefix string) LinkMetrics {
+	return LinkMetrics{
+		Offered:   r.Counter(prefix + ".offered"),
+		Delivered: r.Counter(prefix + ".delivered"),
+		LossDrops: r.Counter(prefix + ".drops.loss"),
+		FIFODrops: r.Counter(prefix + ".drops.fifo"),
+		REDDrops:  r.Counter(prefix + ".drops.red"),
+		Queue:     r.Gauge(prefix + ".queue"),
+	}
+}

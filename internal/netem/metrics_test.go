@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"testing"
+
+	"pftk/internal/obs"
+	"pftk/internal/sim"
+)
+
+// TestLinkMetricsMatchStats drives a rate-limited lossy link and checks
+// that the obs counters agree exactly with the link's own LinkStats, and
+// that drops are attributed to the right cause.
+func TestLinkMetricsMatchStats(t *testing.T) {
+	reg := obs.New()
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{
+		Rate:     10,
+		QueueCap: 3,
+		Delay:    ConstantDelay(0.01),
+		Loss:     NewBernoulli(0.3, sim.NewRNG(42)),
+		Metrics:  NewLinkMetrics(reg, "netem.fwd"),
+	})
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		l.Send(i, func(any) { delivered++ })
+	}
+	eng.Run()
+
+	st := l.Stats()
+	snap := reg.Snapshot()
+	if got := snap.Counter("netem.fwd.offered"); got != uint64(st.Offered) {
+		t.Errorf("offered counter = %d, stats = %d", got, st.Offered)
+	}
+	if got := snap.Counter("netem.fwd.delivered"); got != uint64(st.Delivered) {
+		t.Errorf("delivered counter = %d, stats = %d", got, st.Delivered)
+	}
+	if got := snap.Counter("netem.fwd.drops.loss"); got != uint64(st.RandomDrops) {
+		t.Errorf("loss drops counter = %d, stats = %d", got, st.RandomDrops)
+	}
+	if got := snap.Counter("netem.fwd.drops.fifo"); got != uint64(st.QueueDrops) {
+		t.Errorf("fifo drops counter = %d, stats = %d", got, st.QueueDrops)
+	}
+	if st.QueueDrops == 0 {
+		t.Error("test should exercise drop-tail overflow (raise the burst)")
+	}
+	if hw := snap.Gauges["netem.fwd.queue"].Max; hw != float64(st.MaxQueue) {
+		t.Errorf("queue high-water gauge = %g, stats MaxQueue = %d", hw, st.MaxQueue)
+	}
+	if delivered != st.Delivered {
+		t.Errorf("callback deliveries %d != stats %d", delivered, st.Delivered)
+	}
+}
+
+// TestREDDropsAttributed checks RED early drops land in the RED counter,
+// not the FIFO one.
+func TestREDDropsAttributed(t *testing.T) {
+	reg := obs.New()
+	var eng sim.Engine
+	l := NewREDLink(&eng, LinkConfig{
+		Rate:     5,
+		QueueCap: 8,
+		Metrics:  NewLinkMetrics(reg, "netem.fwd"),
+	}, sim.NewRNG(7))
+	for i := 0; i < 400; i++ {
+		l.Send(i, func(any) {})
+	}
+	eng.Run()
+	snap := reg.Snapshot()
+	if got := snap.Counter("netem.fwd.drops.red"); got != uint64(l.REDDrops()) {
+		t.Errorf("red drops counter = %d, REDDrops() = %d", got, l.REDDrops())
+	}
+	if l.REDDrops() == 0 {
+		t.Error("test should exercise RED drops")
+	}
+	// Offered must count RED-dropped packets too, mirroring LinkStats.
+	if got := snap.Counter("netem.fwd.offered"); got != uint64(l.Stats().Offered) {
+		t.Errorf("offered counter = %d, stats = %d", got, l.Stats().Offered)
+	}
+}
+
+// TestLinkMetricsAllocationFree asserts that metrics — disabled or
+// enabled — add zero allocations to the Send path. The baseline itself
+// allocates (the delivery event and its closure); the metrics layer must
+// not add to it.
+func TestLinkMetricsAllocationFree(t *testing.T) {
+	measure := func(m LinkMetrics) float64 {
+		var eng sim.Engine
+		l := NewLink(&eng, LinkConfig{Metrics: m})
+		deliver := func(any) {}
+		return testing.AllocsPerRun(200, func() {
+			l.Send(nil, deliver)
+			eng.Run()
+		})
+	}
+	base := measure(LinkMetrics{})
+	enabled := measure(NewLinkMetrics(obs.New(), "netem.fwd"))
+	if enabled > base {
+		t.Errorf("enabled metrics allocate %.1f objects per Send, baseline %.1f — must be equal", enabled, base)
+	}
+}

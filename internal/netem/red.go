@@ -110,6 +110,8 @@ func (l *REDQueueLink) Send(payload any, deliver func(any)) {
 		l.redDrops++
 		l.stats.Offered++
 		l.stats.RandomDrops++
+		l.cfg.Metrics.Offered.Inc()
+		l.cfg.Metrics.REDDrops.Inc()
 		return
 	}
 	l.Link.Send(payload, deliver)

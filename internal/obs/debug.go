@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts a background HTTP server on addr (":0" picks a free
+// port) exposing the standard Go diagnostics for profiling long
+// campaigns:
+//
+//	/debug/vars     expvar (memstats, cmdline)
+//	/debug/pprof/   CPU, heap, goroutine, block and mutex profiles
+//	/debug/metrics  the registry's current Snapshot as JSON
+//
+// It returns the bound address ("127.0.0.1:43210"). The server lives for
+// the remainder of the process; campaign tools print the address and let
+// process exit tear it down. reg may be nil, in which case /debug/metrics
+// serves an empty snapshot.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// The listener closes only at process exit; Serve's error is
+		// uninteresting then.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebugExposesMetricsAndPprof(t *testing.T) {
+	reg := New()
+	reg.Counter("sim.events").Add(123)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics: status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics body not a snapshot: %v\n%s", err, body)
+	}
+	if snap.Counter("sim.events") != 123 {
+		t.Errorf("snapshot counter = %d, want 123", snap.Counter("sim.events"))
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: status %d, body %.60s", code, body)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d, body %.60s", code, body)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	m := NewManifest("experiments")
+	m.Salt = 7
+	m.Options = map[string]any{"hour": 3600.0}
+	m.Artifacts = []Artifact{{ID: "table2", Title: "Table II", WallSeconds: 1.5, Files: []string{"table2_table0.csv"}}}
+	m.WallSeconds = 2.0
+	m.MetricsFile = "metrics.jsonl"
+	return m
+}
+
+func TestManifestWriteAndValidate(t *testing.T) {
+	m := sampleManifest()
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateManifest(data)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got.Tool != "experiments" || got.Salt != 7 || len(got.Artifacts) != 1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Artifacts[0].ID != "table2" {
+		t.Errorf("artifact: %+v", got.Artifacts[0])
+	}
+}
+
+func TestValidateManifestRejects(t *testing.T) {
+	breakers := map[string]func(*Manifest){
+		"wrong schema": func(m *Manifest) { m.SchemaVersion = 99 },
+		"no artifacts": func(m *Manifest) { m.Artifacts = nil },
+		"empty id":     func(m *Manifest) { m.Artifacts[0].ID = "" },
+		"no tool":      func(m *Manifest) { m.Tool = "" },
+	}
+	for name, breakit := range breakers {
+		m := sampleManifest()
+		breakit(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateManifest(data); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if _, err := ValidateManifest([]byte("{")); err == nil {
+		t.Error("syntactically broken manifest accepted")
+	}
+}
+
+func TestBuildVersionNeverEmpty(t *testing.T) {
+	v := BuildVersion()
+	if v == "" {
+		t.Fatal("BuildVersion must never be empty")
+	}
+	// Test binaries are built without VCS stamping, so "unknown" is the
+	// expected value here; a stamped binary yields "devel+<rev>".
+	if v != "unknown" && !strings.HasPrefix(v, "devel+") {
+		t.Errorf("unexpected version format %q", v)
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoops(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Set(5)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil histogram value")
+	}
+}
+
+func TestNilRegistryReturnsNilHandles(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", []float64{1}) != nil {
+		t.Error("nil registry must hand out nil handles")
+	}
+	if !r.Snapshot().Empty() {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterAndReuse(t *testing.T) {
+	r := New()
+	c := r.Counter("sim.events")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("sim.events").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("sim.events") != c {
+		t.Error("same name must return the same counter")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	r := New()
+	g := r.Gauge("queue.depth")
+	for _, v := range []float64{1, 7, 3} {
+		g.Set(v)
+	}
+	if g.Value() != 3 {
+		t.Errorf("value = %g, want 3", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Errorf("max = %g, want 7", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("cwnd", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["cwnd"]
+	want := []uint64{2, 1, 1, 1} // <=1, <=2, <=4, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %g, want 106", s.Sum)
+	}
+	if got := h.Mean(); math.Abs(got-106.0/5) > 1e-9 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {3, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds must panic", name)
+				}
+			}()
+			New().Histogram("h", bounds)
+		}()
+	}
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty metric name must panic")
+		}
+	}()
+	New().Counter("")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(w*per + i))
+				h.Observe(1)
+				// Concurrent registration of the same names must be
+				// safe too.
+				r.Counter("c").Value()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Sum() != workers*per {
+		t.Errorf("histogram sum = %g, want %d", h.Sum(), workers*per)
+	}
+	if g.Max() != workers*per-1 {
+		t.Errorf("gauge max = %g, want %d", g.Max(), workers*per-1)
+	}
+}
+
+// TestUpdatesAllocateNothing pins the hot-path contract: metric updates —
+// enabled or disabled — never allocate.
+func TestUpdatesAllocateNothing(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2, 4, 8, 16})
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	cases := map[string]func(){
+		"counter":       func() { c.Inc() },
+		"gauge":         func() { g.Set(3) },
+		"histogram":     func() { h.Observe(3) },
+		"nil counter":   func() { nc.Inc() },
+		"nil gauge":     func() { ng.Set(3) },
+		"nil histogram": func() { nh.Observe(3) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s update allocates %.1f times per op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c", []float64{1}).Observe(2)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("a") != 3 || s.Gauges["b"].Value != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Errorf("round trip lost data: %s", data)
+	}
+	if s.Empty() {
+		t.Error("snapshot should not be empty")
+	}
+}

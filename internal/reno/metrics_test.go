@@ -1,0 +1,94 @@
+package reno
+
+import (
+	"testing"
+
+	"pftk/internal/netem"
+	"pftk/internal/obs"
+	"pftk/internal/sim"
+)
+
+// metricsRun drives one lossy bulk transfer with a live registry.
+func metricsRun(t *testing.T, reg *obs.Registry) Result {
+	t.Helper()
+	cfg := ConnConfig{
+		Sender: SenderConfig{RWnd: 16, MinRTO: 1.0, Metrics: NewMetrics(reg)},
+		Path:   netem.SymmetricPath(0.05, netem.NewBernoulli(0.05, sim.NewRNG(11))),
+	}
+	cfg.Path.Forward.Metrics = netem.NewLinkMetrics(reg, "netem.fwd")
+	cfg.Path.Reverse.Metrics = netem.NewLinkMetrics(reg, "netem.rev")
+	var eng sim.Engine
+	return NewConnection(&eng, cfg).Run(400)
+}
+
+// TestSenderMetricsMatchStats pins the reconciliation contract: every
+// obs counter equals the sender's ground-truth SenderStats counterpart.
+func TestSenderMetricsMatchStats(t *testing.T) {
+	reg := obs.New()
+	res := metricsRun(t, reg)
+	snap := reg.Snapshot()
+	st := res.Stats
+
+	if st.TDEvents == 0 || st.TimeoutEvents == 0 {
+		t.Fatalf("run must exercise both loss-indication kinds: %+v", st)
+	}
+	if got := snap.Counter("reno.indications.td"); got != uint64(st.TDEvents) {
+		t.Errorf("td counter = %d, stats = %d", got, st.TDEvents)
+	}
+	if got := snap.Counter("reno.timeouts.fired"); got != uint64(st.TimeoutEvents) {
+		t.Errorf("timeout fires = %d, stats = %d", got, st.TimeoutEvents)
+	}
+	if got := snap.Counter("reno.timeouts.sequences"); got != uint64(st.TimeoutsByBackoff[0]) {
+		t.Errorf("timeout sequences = %d, depth-0 fires = %d", got, st.TimeoutsByBackoff[0])
+	}
+	if got := snap.Counter("reno.acks"); got != uint64(st.AcksReceived) {
+		t.Errorf("acks = %d, stats = %d", got, st.AcksReceived)
+	}
+	bh := snap.Histograms["reno.timeouts.backoff"]
+	if bh.Count != uint64(st.TimeoutEvents) {
+		t.Errorf("backoff histogram count = %d, fires = %d", bh.Count, st.TimeoutEvents)
+	}
+	// Bucket k of the backoff histogram is exactly TimeoutsByBackoff[k]
+	// for the uncapped depths.
+	for k := 0; k < 5; k++ {
+		if bh.Counts[k] != uint64(st.TimeoutsByBackoff[k]) {
+			t.Errorf("backoff bucket %d = %d, stats = %d", k, bh.Counts[k], st.TimeoutsByBackoff[k])
+		}
+	}
+	rh := snap.Histograms["reno.rtt"]
+	if rh.Count != uint64(st.RTTSamples) {
+		t.Errorf("rtt histogram count = %d, samples = %d", rh.Count, st.RTTSamples)
+	}
+	// The forward link saw every transmission.
+	if got := snap.Counter("netem.fwd.offered"); got != uint64(st.TotalSent()) {
+		t.Errorf("forward offered = %d, total sent = %d", got, st.TotalSent())
+	}
+	if snap.Counter("reno.timer.cancels") == 0 {
+		t.Error("timer cancels never counted")
+	}
+	if snap.Histograms["reno.cwnd"].Count == 0 {
+		t.Error("cwnd never sampled")
+	}
+}
+
+// TestDisabledSenderMetricsIdenticalRun confirms the disabled-metrics
+// sender produces the identical trace (observability must never perturb
+// the simulation).
+func TestDisabledSenderMetricsIdenticalRun(t *testing.T) {
+	run := func(reg *obs.Registry) Result {
+		cfg := ConnConfig{
+			Sender: SenderConfig{RWnd: 16, MinRTO: 1.0, Metrics: NewMetrics(reg)},
+			Path:   netem.SymmetricPath(0.05, netem.NewBernoulli(0.05, sim.NewRNG(11))),
+		}
+		var eng sim.Engine
+		return NewConnection(&eng, cfg).Run(200)
+	}
+	on := run(obs.New())
+	off := run(nil)
+	if on.Stats != off.Stats {
+		t.Errorf("metrics changed the run:\n on=%+v\noff=%+v", on.Stats, off.Stats)
+	}
+	if len(on.Trace) != len(off.Trace) {
+		t.Errorf("trace length differs: %d vs %d", len(on.Trace), len(off.Trace))
+	}
+}

@@ -33,6 +33,9 @@ type SenderConfig struct {
 	// are acknowledged. Zero keeps the paper's saturated
 	// infinite-source sender.
 	TotalPackets uint64
+	// Metrics holds optional observability handles; the zero value
+	// disables collection (see Metrics).
+	Metrics Metrics
 }
 
 func (c SenderConfig) normalize() SenderConfig {
@@ -159,6 +162,7 @@ func (s *Sender) Stop() {
 	if s.rtoTimer != nil {
 		s.eng.Cancel(s.rtoTimer)
 		s.rtoTimer = nil
+		s.cfg.Metrics.TimerCancels.Inc()
 	}
 }
 
@@ -294,6 +298,7 @@ func (s *Sender) restartRTO() {
 	if s.rtoTimer != nil {
 		s.eng.Cancel(s.rtoTimer)
 		s.rtoTimer = nil
+		s.cfg.Metrics.TimerCancels.Inc()
 	}
 	if s.closed || s.InFlight() == 0 {
 		return
@@ -314,6 +319,13 @@ func (s *Sender) onTimeout() {
 		idx = len(s.stats.TimeoutsByBackoff) - 1
 	}
 	s.stats.TimeoutsByBackoff[idx]++
+	s.cfg.Metrics.TimeoutFires.Inc()
+	s.cfg.Metrics.Backoff.Observe(float64(s.backoffExp))
+	if s.backoffExp == 0 {
+		// Depth-0 fires open a new timeout sequence — the unit Table II
+		// counts as one loss indication.
+		s.cfg.Metrics.TimeoutSeqs.Inc()
+	}
 	s.log(trace.Record{Kind: trace.KindTimeoutFired, Val: float64(s.backoffExp)})
 
 	s.ssthresh = math.Max(float64(s.InFlight())/2, 2)
@@ -341,6 +353,7 @@ func (s *Sender) setCwnd(w float64) {
 		return // no-op update: suppress a duplicate trace record
 	}
 	s.cwnd = w
+	s.cfg.Metrics.Cwnd.Observe(w)
 	if s.cfg.TraceCwnd {
 		s.log(trace.Record{Kind: trace.KindCwndChange, Val: w})
 	}
@@ -354,6 +367,7 @@ func (s *Sender) OnAck(payload any) {
 		return
 	}
 	s.stats.AcksReceived++
+	s.cfg.Metrics.Acks.Inc()
 	s.log(trace.Record{Kind: trace.KindAck, Ack: ack.Ack})
 	switch {
 	case ack.Ack > s.una:
@@ -371,6 +385,7 @@ func (s *Sender) onNewAck(ack uint64) {
 			sample := s.eng.Now() - s.timedAt
 			s.est.Sample(sample)
 			s.stats.RTTSamples++
+			s.cfg.Metrics.RTT.Observe(sample)
 			s.log(trace.Record{Kind: trace.KindRoundSample, Seq: uint64(s.timedFlight), Val: sample})
 		}
 		s.timing = false
@@ -424,6 +439,7 @@ func (s *Sender) onDupAck() {
 	}
 	// Fast retransmit: a TD loss indication.
 	s.stats.TDEvents++
+	s.cfg.Metrics.IndicationsTD.Inc()
 	s.log(trace.Record{Kind: trace.KindTDIndication, Seq: s.una})
 	s.ssthresh = math.Max(float64(s.InFlight())/2, 2)
 	s.retransmit(s.una, false)

@@ -67,6 +67,26 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Hooks receives engine lifecycle callbacks, the attachment point for the
+// observability layer (events/sec, queue-depth high-water marks,
+// per-component event accounting). Every field is optional; the engine
+// pays one nil-func check per callback site, so an engine with no hooks
+// (or sparse hooks) stays allocation-free on the hot path — a property
+// pinned by TestStepDisabledMetricsZeroAlloc and
+// BenchmarkSimStepObsDisabled.
+type Hooks struct {
+	// EventFired is called after each event callback returns, with the
+	// fire time and the queue depth left behind (including anything the
+	// event itself scheduled).
+	EventFired func(now float64, pending int)
+	// Scheduled is called after each successful Schedule with the
+	// event's fire time and the resulting queue depth.
+	Scheduled func(at float64, pending int)
+	// Cancelled is called each time Cancel removes a still-pending
+	// event (not for already-fired or doubly-cancelled events).
+	Cancelled func()
+}
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     float64
@@ -74,7 +94,12 @@ type Engine struct {
 	nextSeq uint64
 	stopped bool
 	fired   uint64
+	hooks   Hooks
 }
+
+// SetHooks installs (or, with the zero Hooks, removes) the engine's
+// observability callbacks.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -104,6 +129,9 @@ func (e *Engine) Schedule(at float64, fn func()) *Event {
 	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	if e.hooks.Scheduled != nil {
+		e.hooks.Scheduled(at, len(e.queue))
+	}
 	return ev
 }
 
@@ -124,6 +152,9 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
+	if e.hooks.Cancelled != nil {
+		e.hooks.Cancelled()
+	}
 }
 
 // Stop makes the current Run call return after the in-flight event
@@ -139,6 +170,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	ev.fn()
+	if e.hooks.EventFired != nil {
+		e.hooks.EventFired(e.now, len(e.queue))
+	}
 	return true
 }
 
