@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmtcheck vet lint invariants obs-smoke check clean
+.PHONY: all build test test-short race cover bench fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke check clean
 
 all: build test
 
@@ -30,6 +30,13 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzDecodeTcpdump -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzDecodeJSONL -fuzztime 30s
 	$(GO) test ./internal/analysis -fuzz FuzzInferLossEvents -fuzztime 30s
+
+# Abbreviated fuzzing pass for CI: the trace decoders are the only parsers
+# fed attacker-controlled bytes, so they get 10 seconds each on every push.
+fuzz-ci:
+	$(GO) test ./internal/trace -fuzz FuzzDecode$$ -fuzztime 10s
+	$(GO) test ./internal/trace -fuzz FuzzDecodeTcpdump -fuzztime 10s
+	$(GO) test ./internal/trace -fuzz FuzzDecodeJSONL -fuzztime 10s
 
 # Regenerate every table and figure at the paper's campaign scale.
 experiments:
@@ -75,8 +82,28 @@ obs-smoke:
 	$(GO) run ./cmd/experiments -checkobs obs-smoke-out
 	rm -rf obs-smoke-out
 
+# End-to-end serving smoke test: build pftkd and pftkload, boot the
+# daemon on an ephemeral port, hit it with a short closed-loop predict
+# burst plus a couple of simulate jobs (pftkload exits non-zero when no
+# request succeeds), then require a clean SIGTERM drain.
+serve-smoke:
+	rm -rf serve-smoke-out && mkdir -p serve-smoke-out
+	$(GO) build -o serve-smoke-out/pftkd ./cmd/pftkd
+	$(GO) build -o serve-smoke-out/pftkload ./cmd/pftkload
+	./serve-smoke-out/pftkd -addr 127.0.0.1:0 \
+		-addrfile serve-smoke-out/addr >serve-smoke-out/pftkd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s serve-smoke-out/addr ] && break; sleep 0.1; done; \
+	[ -s serve-smoke-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
+	url="http://$$(cat serve-smoke-out/addr)"; \
+	./serve-smoke-out/pftkload -url $$url -c 8 -n 500 -batch 4 && \
+	./serve-smoke-out/pftkload -url $$url -mode simulate -c 2 -n 4 -simdur 2 && \
+	kill -TERM $$pid && wait $$pid && \
+	grep -q "drained and stopped" serve-smoke-out/pftkd.log
+	rm -rf serve-smoke-out
+
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants obs-smoke
+check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke
 
 clean:
-	rm -rf results obs-smoke-out
+	rm -rf results obs-smoke-out serve-smoke-out

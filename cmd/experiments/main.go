@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		hour     = fs.Float64("hour", 3600, "duration of each '1-hour' trace in simulated seconds")
 		traces   = fs.Int("traces", 100, "number of serial connections in the 100-s campaign")
 		short    = fs.Float64("short", 100, "duration of each short connection in seconds")
+		workers  = fs.Int("j", 0, "concurrent trace simulations (0 = GOMAXPROCS); results are identical for any value")
 		salt     = fs.Uint64("salt", 0, "random salt for all campaigns")
 		plot     = fs.Bool("plot", false, "render figures as ASCII plots (log-x) instead of range summaries")
 		metrics  = fs.String("metrics", "", "write one JSONL metric record per simulated trace to this file")
@@ -66,6 +67,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return w.Err()
 	}
+	if *hour <= 0 {
+		return fmt.Errorf("-hour must be a positive duration in seconds, got %v", *hour)
+	}
+	if *traces <= 0 {
+		return fmt.Errorf("-traces must be positive, got %d", *traces)
+	}
+	if *short <= 0 {
+		return fmt.Errorf("-short must be a positive duration in seconds, got %v", *short)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-j must be positive (or 0 for GOMAXPROCS), got %d", *workers)
+	}
 	if *debug != "" {
 		addr, err := obs.ServeDebug(*debug, nil)
 		if err != nil {
@@ -80,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ShortTraceDuration: *short,
 		IntervalWidth:      100,
 		Salt:               *salt,
+		Workers:            *workers,
 	}
 	if *progress {
 		opts.Progress = stderr
@@ -108,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"short_traces":         *traces,
 		"short_trace_duration": *short,
 		"interval_width":       100,
+		"workers":              *workers,
 	}
 	start := time.Now()
 

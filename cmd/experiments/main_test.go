@@ -182,3 +182,50 @@ func TestDebugAddr(t *testing.T) {
 		t.Errorf("debug address not announced:\n%s", errBuf.String())
 	}
 }
+
+// TestFlagValidation rejects non-positive campaign dimensions instead of
+// silently falling back to the full paper-scale defaults.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero hour", []string{"-run", "table2", "-hour", "0"}, "-hour must be"},
+		{"negative hour", []string{"-run", "table2", "-hour", "-60"}, "-hour must be"},
+		{"zero traces", []string{"-run", "fig8", "-traces", "0"}, "-traces must be"},
+		{"negative short", []string{"-run", "fig8", "-short", "-5"}, "-short must be"},
+		{"negative workers", []string{"-run", "table2", "-j", "-2"}, "-j must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+			if out.Len() > 0 {
+				t.Errorf("args %v: output produced despite validation error", tc.args)
+			}
+		})
+	}
+}
+
+// TestParallelFlagMatchesSerial runs an abbreviated campaign twice, -j 1
+// vs -j 4, and requires byte-identical reports on stdout.
+func TestParallelFlagMatchesSerial(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	args := []string{"-run", "table2", "-hour", "60", "-salt", "5"}
+	if err := run(append(args, "-j", "1"), &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-j", "4"), &parallel, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j 1 and -j 4 reports differ:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+}

@@ -1,0 +1,257 @@
+// Command pftkload is a closed-loop load generator for pftkd: -c worker
+// goroutines issue requests back-to-back (optionally paced to a target
+// -qps) against /v1/predict or /v1/simulate and report achieved
+// throughput, a status-code breakdown and p50/p90/p95/p99 latencies.
+//
+// Examples:
+//
+//	pftkload -url http://127.0.0.1:8080 -c 64 -duration 10s
+//	pftkload -url http://127.0.0.1:8080 -mode simulate -c 4 -n 100
+//	pftkload -url http://127.0.0.1:8080 -c 32 -qps 5000 -batch 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pftk/internal/cli"
+	"pftk/internal/obs"
+	"pftk/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+// workerStats accumulates one worker's private view of the run; workers
+// never share mutable state on the hot path.
+type workerStats struct {
+	latencies []float64 // seconds, successful round trips only
+	n2xx      int
+	n429      int
+	n4xx      int // other 4xx
+	n5xx      int
+	errors    int // transport failures
+}
+
+// run executes the load test described by args.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pftkload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:8080", "base URL of the pftkd service")
+		mode     = fs.String("mode", "predict", "request mix: predict or simulate")
+		conc     = fs.Int("c", 64, "concurrent closed-loop workers")
+		duration = fs.Duration("duration", 10*time.Second, "run length (ignored when -n is set)")
+		total    = fs.Int("n", 0, "stop after this many requests (0 = run for -duration)")
+		qps      = fs.Float64("qps", 0, "target aggregate request rate (0 = unpaced closed loop)")
+		batch    = fs.Int("batch", 1, "points per predict request (1 = single-point body)")
+		simDur   = fs.Float64("simdur", 5, "simulated seconds per simulate job")
+		seeds    = fs.Int("seeds", 0, "distinct simulate seeds before reuse turns runs into cache hits (0 = all distinct)")
+		version  = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := cli.NewWriter(stdout)
+	if *version {
+		w.Printf("pftkload %s\n", obs.BuildVersion())
+		return w.Err()
+	}
+	if *conc < 1 {
+		return fmt.Errorf("-c must be positive, got %d", *conc)
+	}
+	if *total == 0 && *duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", *duration)
+	}
+	if *total < 0 {
+		return fmt.Errorf("-n must be non-negative, got %d", *total)
+	}
+	if *qps < 0 {
+		return fmt.Errorf("-qps must be non-negative, got %v", *qps)
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be positive, got %d", *batch)
+	}
+	if *simDur <= 0 {
+		return fmt.Errorf("-simdur must be positive, got %v", *simDur)
+	}
+	if *seeds < 0 {
+		return fmt.Errorf("-seeds must be non-negative, got %d", *seeds)
+	}
+	var path string
+	switch *mode {
+	case "predict":
+		path = "/v1/predict"
+	case "simulate":
+		path = "/v1/simulate"
+	default:
+		return fmt.Errorf("unknown -mode %q (valid: predict, simulate)", *mode)
+	}
+	target := strings.TrimSuffix(*url, "/") + path
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc * 2,
+			MaxIdleConnsPerHost: *conc * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	var (
+		issued   atomic.Int64 // request sequence numbers
+		deadline = time.Now().Add(*duration)
+		results  = make([]workerStats, *conc)
+		wg       sync.WaitGroup
+	)
+	// Pacing: with -qps, each request owns a slot of 1/qps seconds; a
+	// worker sleeps until its request's slot opens. Sequence numbers make
+	// the schedule exact without a shared ticker.
+	start := time.Now()
+	interval := time.Duration(0)
+	if *qps > 0 {
+		interval = time.Duration(float64(time.Second) / *qps)
+	}
+	for g := 0; g < *conc; g++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			for {
+				i := issued.Add(1) - 1
+				if *total > 0 && i >= int64(*total) {
+					return
+				}
+				if *total == 0 && time.Now().After(deadline) {
+					return
+				}
+				if interval > 0 {
+					if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				body := requestBody(*mode, i, *batch, *simDur, *seeds)
+				t0 := time.Now()
+				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				ws.latencies = append(ws.latencies, time.Since(t0).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ws.n429++
+				case resp.StatusCode >= 500:
+					ws.n5xx++
+				case resp.StatusCode >= 400:
+					ws.n4xx++
+				default:
+					ws.n2xx++
+				}
+			}
+		}(&results[g])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var agg workerStats
+	for _, ws := range results {
+		agg.latencies = append(agg.latencies, ws.latencies...)
+		agg.n2xx += ws.n2xx
+		agg.n429 += ws.n429
+		agg.n4xx += ws.n4xx
+		agg.n5xx += ws.n5xx
+		agg.errors += ws.errors
+	}
+	n := len(agg.latencies) + agg.errors
+	w.Printf("pftkload: %d requests in %.2fs (%.1f req/s) against %s\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), target)
+	w.Printf("  status: 2xx=%d 429=%d other-4xx=%d 5xx=%d transport-errors=%d\n",
+		agg.n2xx, agg.n429, agg.n4xx, agg.n5xx, agg.errors)
+	if len(agg.latencies) > 0 {
+		w.Printf("  latency: p50=%s p90=%s p95=%s p99=%s max=%s\n",
+			ms(stats.Quantile(agg.latencies, 0.50)),
+			ms(stats.Quantile(agg.latencies, 0.90)),
+			ms(stats.Quantile(agg.latencies, 0.95)),
+			ms(stats.Quantile(agg.latencies, 0.99)),
+			ms(stats.Quantile(agg.latencies, 1.0)))
+	}
+	if err := w.Err(); err != nil {
+		return err
+	}
+	if agg.n2xx == 0 {
+		return fmt.Errorf("no successful responses out of %d requests", n)
+	}
+	return nil
+}
+
+// ms renders a latency in seconds as a human-readable duration.
+func ms(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// requestBody builds the i-th request. Parameters sweep a deterministic
+// log-spaced loss-rate grid (the shape of the paper's Fig. 7-13 model
+// queries), so a run exercises many distinct cache keys without any
+// nondeterminism.
+func requestBody(mode string, i int64, batch int, simDur float64, seeds int) []byte {
+	lossAt := func(k int64) float64 {
+		// 64 log-spaced points in [1e-4, 0.5], repeating.
+		frac := float64(k%64) / 63
+		return 1e-4 * math.Pow(0.5/1e-4, frac)
+	}
+	var v any
+	switch mode {
+	case "simulate":
+		seed := uint64(i)
+		if seeds > 0 {
+			seed = uint64(i) % uint64(seeds)
+		}
+		v = map[string]any{
+			"rtt":       0.1,
+			"loss_rate": lossAt(i % 8),
+			"duration":  simDur,
+			"seed":      seed,
+		}
+	default:
+		if batch > 1 {
+			reqs := make([]map[string]any, batch)
+			for j := range reqs {
+				reqs[j] = predictPoint(lossAt(i*int64(batch) + int64(j)))
+			}
+			v = map[string]any{"requests": reqs}
+		} else {
+			v = predictPoint(lossAt(i))
+		}
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Bodies are maps of numbers; this cannot fail.
+		panic(err)
+	}
+	return body
+}
+
+// predictPoint is one predict body on the paper's canonical wide-area
+// parameters.
+func predictPoint(p float64) map[string]any {
+	return map[string]any{"p": p, "rtt": 0.2, "t0": 2.0, "wm": 12}
+}
+
+func fatal(err error) {
+	_, _ = fmt.Fprintln(os.Stderr, "pftkload:", err)
+	os.Exit(1)
+}

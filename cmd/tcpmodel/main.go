@@ -56,9 +56,18 @@ func run(args []string, out io.Writer) error {
 		return vw.Err()
 	}
 
+	if *b < 1 {
+		return fmt.Errorf("-b must be at least 1, got %d", *b)
+	}
 	params := pftk.Params{RTT: *rtt, T0: *t0, Wm: *wm, B: *b}
 	if err := params.Validate(); err != nil {
 		return err
+	}
+	if *p > 1 {
+		return fmt.Errorf("-p is a loss rate and must be in [0, 1], got %v", *p)
+	}
+	if *invert != -1 && *invert <= 0 {
+		return fmt.Errorf("-invert target rate must be positive packets/s, got %v", *invert)
 	}
 
 	models := map[string]pftk.Model{
@@ -79,7 +88,7 @@ func run(args []string, out io.Writer) error {
 
 	w := cli.NewWriter(out)
 	switch {
-	case *invert >= 0:
+	case *invert > 0:
 		lp, err := pftk.LossRateFor(*invert, params)
 		if err != nil {
 			return err
@@ -139,7 +148,19 @@ func parseCurve(s string) (pmin, pmax float64, n int, err error) {
 	if pmax, err = strconv.ParseFloat(parts[1], 64); err != nil {
 		return
 	}
-	n, err = strconv.Atoi(parts[2])
+	if n, err = strconv.Atoi(parts[2]); err != nil {
+		return
+	}
+	switch {
+	case !(pmin > 0):
+		err = fmt.Errorf("curve pmin must be a positive loss rate, got %v", pmin)
+	case pmax < pmin:
+		err = fmt.Errorf("curve pmax must be at least pmin (%v), got %v", pmin, pmax)
+	case pmax > 1:
+		err = fmt.Errorf("curve pmax is a loss rate and must be at most 1, got %v", pmax)
+	case n < 2:
+		err = fmt.Errorf("curve needs at least 2 points, got %d", n)
+	}
 	return
 }
 

@@ -112,3 +112,35 @@ func TestVersionFlag(t *testing.T) {
 		t.Errorf("version output malformed: %q", out.String())
 	}
 }
+
+// TestFlagValidation rejects non-positive or out-of-domain flag values
+// with a clear error instead of silently producing degenerate output.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero b", []string{"-b", "0", "-p", "0.02"}, "-b must be"},
+		{"negative b", []string{"-b", "-2", "-p", "0.02"}, "-b must be"},
+		{"p above 1", []string{"-p", "1.5"}, "must be in [0, 1]"},
+		{"zero invert target", []string{"-invert", "0"}, "must be positive"},
+		{"negative invert target", []string{"-invert", "-3"}, "must be positive"},
+		{"zero curve pmin", []string{"-curve", "0:0.5:50"}, "pmin must be"},
+		{"inverted curve range", []string{"-curve", "0.5:0.1:50"}, "pmax must be at least"},
+		{"curve pmax above 1", []string{"-curve", "0.1:2:50"}, "at most 1"},
+		{"one-point curve", []string{"-curve", "1e-4:0.5:1"}, "at least 2 points"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

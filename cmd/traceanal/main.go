@@ -56,6 +56,14 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: traceanal [flags] <trace-file>")
 	}
+	switch {
+	case *interval <= 0:
+		return fmt.Errorf("-interval must be a positive width in seconds, got %v", *interval)
+	case *dupThresh < 0:
+		return fmt.Errorf("-dupthresh must be non-negative, got %d", *dupThresh)
+	case *wm < 0:
+		return fmt.Errorf("-wm must be non-negative packets (0 = unlimited), got %v", *wm)
+	}
 
 	tr, err := readTrace(fs.Arg(0), *format)
 	if err != nil {

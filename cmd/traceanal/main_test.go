@@ -149,3 +149,31 @@ func TestVersionFlag(t *testing.T) {
 		t.Errorf("version output malformed: %q", out.String())
 	}
 }
+
+// TestFlagValidation rejects non-positive interval widths and negative
+// thresholds with a clear error before any file is read.
+func TestFlagValidation(t *testing.T) {
+	path := writeTestTrace(t, false)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero interval", []string{"-interval", "0", path}, "-interval must be"},
+		{"negative interval", []string{"-interval", "-100", path}, "-interval must be"},
+		{"negative dupthresh", []string{"-dupthresh", "-1", path}, "-dupthresh must be"},
+		{"negative wm", []string{"-wm", "-4", path}, "-wm must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -51,6 +51,20 @@ func run(args []string, stdout io.Writer) error {
 		w.Printf("tracesim %s\n", obs.BuildVersion())
 		return w.Err()
 	}
+	switch {
+	case *dur <= 0:
+		return fmt.Errorf("-dur must be a positive duration in simulated seconds, got %v", *dur)
+	case *rtt <= 0:
+		return fmt.Errorf("-rtt must be positive seconds, got %v", *rtt)
+	case *loss < 0 || *loss > 1:
+		return fmt.Errorf("-loss is a probability and must be in [0, 1], got %v", *loss)
+	case *burst < 0:
+		return fmt.Errorf("-burst must be a non-negative duration in seconds, got %v", *burst)
+	case *minRTO <= 0:
+		return fmt.Errorf("-minrto must be positive seconds, got %v", *minRTO)
+	case *wm < 1:
+		return fmt.Errorf("-wm must be at least 1 packet, got %d", *wm)
+	}
 	if *debug != "" {
 		addr, err := obs.ServeDebug(*debug, nil)
 		if err != nil {

@@ -106,3 +106,37 @@ func TestDebugAddr(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlagValidation rejects non-positive durations and out-of-domain
+// rates instead of silently substituting defaults.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero duration", []string{"-dur", "0"}, "-dur must be"},
+		{"negative duration", []string{"-dur", "-10"}, "-dur must be"},
+		{"zero rtt", []string{"-rtt", "0"}, "-rtt must be"},
+		{"negative loss", []string{"-loss", "-0.1"}, "must be in [0, 1]"},
+		{"loss above 1", []string{"-loss", "1.5"}, "must be in [0, 1]"},
+		{"negative burst", []string{"-burst", "-1"}, "-burst must be"},
+		{"zero minrto", []string{"-minrto", "0"}, "-minrto must be"},
+		{"zero wm", []string{"-wm", "0"}, "-wm must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+			if out.Len() > 0 {
+				t.Errorf("args %v: partial output before validation error:\n%s", tc.args, out.String())
+			}
+		})
+	}
+}

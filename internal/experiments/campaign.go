@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"pftk/internal/analysis"
@@ -23,6 +24,7 @@ import (
 	"pftk/internal/reno"
 	"pftk/internal/sim"
 	"pftk/internal/tablefmt"
+	"pftk/internal/workpool"
 )
 
 // Options scales the campaigns.
@@ -40,6 +42,11 @@ type Options struct {
 	IntervalWidth float64
 	// Salt perturbs all random streams.
 	Salt uint64
+	// Workers bounds how many traces are simulated concurrently (one
+	// worker per host pair or connection); 0 means GOMAXPROCS, 1 forces
+	// the serial order. Per-trace salts make runs order-independent, so
+	// any worker count produces byte-identical campaign results.
+	Workers int
 	// Obs enables per-run metric collection: every PairRun then carries
 	// the obs.Snapshot of its private registry (engine event counts,
 	// link drops by cause, sender cwnd/indication/backoff metrics).
@@ -63,6 +70,7 @@ func DefaultOptions() Options {
 		ShortTraces:        100,
 		ShortTraceDuration: 100,
 		IntervalWidth:      100,
+		Workers:            runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -79,6 +87,9 @@ func (o Options) normalize() Options {
 	}
 	if o.IntervalWidth <= 0 {
 		o.IntervalWidth = d.IntervalWidth
+	}
+	if o.Workers <= 0 {
+		o.Workers = d.Workers
 	}
 	return o
 }
@@ -194,23 +205,50 @@ type Campaign struct {
 	Runs []PairRun
 }
 
+// runParallel executes n independent trace jobs across Options.Workers
+// goroutines using the same worker-pool primitive as the pftkd service.
+// run(k) must be a pure function of k (per-trace salts make the
+// simulations order-independent); results come back indexed, so any
+// worker count yields byte-identical campaign output. prog is stepped as
+// jobs finish — progress order is the only thing concurrency changes.
+func (o Options) runParallel(n int, prog *obs.Progress, run func(k int, reg *obs.Registry) PairRun, unit func(k int) string) []PairRun {
+	runs := make([]PairRun, n)
+	pool := workpool.New(o.Workers, n)
+	for k := 0; k < n; k++ {
+		pool.Submit(func() {
+			var reg *obs.Registry
+			if o.obsEnabled() {
+				reg = obs.New()
+			}
+			runs[k] = run(k, reg)
+			prog.Step(unit(k))
+		})
+	}
+	// Close drains every submitted job before returning — the barrier
+	// that makes the indexed writes above visible here.
+	pool.Close()
+	return runs
+}
+
 // RunCampaign executes the Table II campaign: one HourTraceDuration trace
-// per Table II pair.
+// per Table II pair, Workers pairs at a time.
 func RunCampaign(o Options) *Campaign {
 	o = o.normalize()
 	c := &Campaign{Opts: o}
 	pairs := hosts.TableII()
 	prog := obs.NewProgress(o.Progress, "hour campaign", len(pairs))
-	for _, p := range pairs {
-		var reg *obs.Registry
-		if o.obsEnabled() {
-			reg = obs.New()
-		}
-		run := runPair(p, o.HourTraceDuration, o.Salt, o.IntervalWidth, reg)
+	runs := o.runParallel(len(pairs), prog,
+		func(k int, reg *obs.Registry) PairRun {
+			return runPair(pairs[k], o.HourTraceDuration, o.Salt, o.IntervalWidth, reg)
+		},
+		func(k int) string { return pairs[k].Name() })
+	// Export in pair order regardless of completion order, so a metrics
+	// file is reproducible across worker counts (up to wall-clock
+	// fields).
+	for _, run := range runs {
 		o.record("hour", 0, o.HourTraceDuration, run)
-		c.Runs = append(c.Runs, run)
-		prog.Step(p.Name())
 	}
+	c.Runs = runs
 	prog.Done()
 	return c
 }
@@ -235,25 +273,30 @@ type ShortCampaign struct {
 }
 
 // RunShortCampaign executes the 100 x 100-second campaign over the Fig. 8
-// pairs.
+// pairs. All connections across all pairs share one worker pool, so the
+// campaign parallelizes even when one pair dominates.
 func RunShortCampaign(o Options) *ShortCampaign {
 	o = o.normalize()
 	sc := &ShortCampaign{Opts: o, Pairs: hosts.Fig8Pairs()}
 	sc.Runs = make([][]PairRun, len(sc.Pairs))
-	prog := obs.NewProgress(o.Progress, "short campaign", len(sc.Pairs)*o.ShortTraces)
-	for i, p := range sc.Pairs {
-		runs := make([]PairRun, o.ShortTraces)
-		for j := 0; j < o.ShortTraces; j++ {
-			var reg *obs.Registry
-			if o.obsEnabled() {
-				reg = obs.New()
-			}
+	n := len(sc.Pairs) * o.ShortTraces
+	prog := obs.NewProgress(o.Progress, "short campaign", n)
+	// Job k is connection k%ShortTraces of pair k/ShortTraces; TraceSalt
+	// keys the random streams on (i, j), not on execution order.
+	runs := o.runParallel(n, prog,
+		func(k int, reg *obs.Registry) PairRun {
+			i, j := k/o.ShortTraces, k%o.ShortTraces
 			// Each short trace is analyzed as a single interval.
-			runs[j] = runPair(p, o.ShortTraceDuration, TraceSalt(o.Salt, i, j), o.ShortTraceDuration, reg)
-			o.record("short", j, o.ShortTraceDuration, runs[j])
-			prog.Stepf("%s #%d", p.Name(), j+1)
+			return runPair(sc.Pairs[i], o.ShortTraceDuration, TraceSalt(o.Salt, i, j), o.ShortTraceDuration, reg)
+		},
+		func(k int) string {
+			return fmt.Sprintf("%s #%d", sc.Pairs[k/o.ShortTraces].Name(), k%o.ShortTraces+1)
+		})
+	for i := range sc.Pairs {
+		sc.Runs[i] = runs[i*o.ShortTraces : (i+1)*o.ShortTraces]
+		for j, run := range sc.Runs[i] {
+			o.record("short", j, o.ShortTraceDuration, run)
 		}
-		sc.Runs[i] = runs
 	}
 	prog.Done()
 	return sc

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stripWallClock zeroes the only fields of a PairRun that legitimately
+// depend on execution timing rather than on the simulation itself.
+func stripWallClock(runs []PairRun) []PairRun {
+	out := append([]PairRun(nil), runs...)
+	for i := range out {
+		out[i].WallSeconds = 0
+	}
+	return out
+}
+
+// TestParallelCampaignMatchesSerial asserts that the worker count is
+// invisible in campaign results: per-trace salts make every run a pure
+// function of its (pair, connection) coordinates, so 4 workers must
+// produce byte-identical analysis products to the serial order.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	base := Options{HourTraceDuration: 120, ShortTraces: 6, ShortTraceDuration: 40, IntervalWidth: 60, Salt: 7}
+
+	serialOpts, parallelOpts := base, base
+	serialOpts.Workers = 1
+	parallelOpts.Workers = 4
+
+	serial := RunCampaign(serialOpts)
+	parallel := RunCampaign(parallelOpts)
+	if len(serial.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(parallel.Runs))
+	}
+	for i := range serial.Runs {
+		a, b := stripWallClock(serial.Runs[i : i+1])[0], stripWallClock(parallel.Runs[i : i+1])[0]
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("hour campaign run %d (%s) differs between -j 1 and -j 4", i, a.Pair.Name())
+		}
+	}
+
+	// Rendered artifacts are the user-visible output; they must match to
+	// the byte.
+	serialTable := table2From(serial).Tables[0].ASCII()
+	parallelTable := table2From(parallel).Tables[0].ASCII()
+	if serialTable != parallelTable {
+		t.Errorf("Table II renders differently:\nserial:\n%s\nparallel:\n%s", serialTable, parallelTable)
+	}
+
+	serialShort := RunShortCampaign(serialOpts)
+	parallelShort := RunShortCampaign(parallelOpts)
+	for i := range serialShort.Runs {
+		if !reflect.DeepEqual(stripWallClock(serialShort.Runs[i]), stripWallClock(parallelShort.Runs[i])) {
+			t.Errorf("short campaign pair %d differs between -j 1 and -j 4", i)
+		}
+	}
+	serialFig := fig8From(serialShort).Figures[0]
+	parallelFig := fig8From(parallelShort).Figures[0]
+	if !reflect.DeepEqual(serialFig, parallelFig) {
+		t.Error("Fig. 8 differs between -j 1 and -j 4")
+	}
+}
+
+// TestParallelObservedCampaign runs the metric-collecting path under
+// parallelism: every run must still carry its own private registry
+// snapshot, identical to the serial one.
+func TestParallelObservedCampaign(t *testing.T) {
+	base := Options{HourTraceDuration: 60, ShortTraces: 2, ShortTraceDuration: 30, IntervalWidth: 30, Salt: 3, Obs: true}
+	serialOpts, parallelOpts := base, base
+	serialOpts.Workers = 1
+	parallelOpts.Workers = 3
+
+	serial := RunCampaign(serialOpts)
+	parallel := RunCampaign(parallelOpts)
+	for i := range serial.Runs {
+		sr, pr := serial.Runs[i], parallel.Runs[i]
+		if sr.Obs == nil || pr.Obs == nil {
+			t.Fatalf("run %d: missing snapshot (serial %v, parallel %v)", i, sr.Obs != nil, pr.Obs != nil)
+		}
+		if !reflect.DeepEqual(sr.Obs.Counters, pr.Obs.Counters) {
+			t.Errorf("run %d: counters differ between -j 1 and -j 3", i)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestShutdownDrainsInFlightJobs hammers the admission path from many
+// goroutines, closes the server mid-stream, and then requires that every
+// job the service accepted reached a terminal state — the drain
+// guarantee of graceful shutdown. Run under -race this also guards the
+// submit/close handshake end to end.
+func TestShutdownDrainsInFlightJobs(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	var (
+		mu       sync.Mutex
+		accepted []string
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				body := fmt.Sprintf(`{"loss_rate":0.02,"duration":2,"seed":%d}`, g*100+i)
+				rec := postJSON(s, "/v1/simulate", body)
+				switch rec.Code {
+				case http.StatusAccepted, http.StatusOK:
+					var job Job
+					if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+						t.Errorf("bad job body: %v", err)
+						return
+					}
+					mu.Lock()
+					accepted = append(accepted, job.ID)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					// Load shedding is fine; dropped work is not tracked.
+				default:
+					t.Errorf("unexpected status %d: %s", rec.Code, rec.Body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+
+	if len(accepted) == 0 {
+		t.Fatal("no jobs were accepted")
+	}
+	for _, id := range accepted {
+		job, ok := s.jobs.get(id)
+		if !ok {
+			t.Errorf("job %s vanished", id)
+			continue
+		}
+		if job.Status != JobDone && job.Status != JobFailed {
+			t.Errorf("job %s left in state %q after Close", id, job.Status)
+		}
+	}
+
+	// After the drain the service keeps answering reads but admits no new
+	// work.
+	if rec := getPath(s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after Close: %d", rec.Code)
+	} else if body := rec.Body.String(); !json.Valid([]byte(body)) {
+		t.Fatalf("healthz body invalid: %s", body)
+	}
+	rec := postJSON(s, "/v1/simulate", `{"loss_rate":0.02,"duration":2,"seed":9999}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("post-Close submit status %d, want 429", rec.Code)
+	}
+}

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// canonicalKey hashes a normalized request into its cache key. The value
+// must already be normalized (defaults filled, slices sorted): JSON
+// encoding of a struct is deterministic given its field values, so equal
+// normalized requests — however the client spelled them — map to the same
+// key. The kind prefix ("predict", "simulate") keeps the two request
+// spaces from ever colliding.
+func canonicalKey(kind string, v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Request types are plain structs of numbers and strings; an
+		// encoding failure is a programming error, not an input error.
+		panic(fmt.Sprintf("serve: canonicalKey(%s): %v", kind, err))
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), data...))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,392 @@
+// Package serve implements pftkd, the throughput-prediction and
+// simulation service: a stdlib-only HTTP JSON API over the PFTK model
+// family and the packet-level validation simulator.
+//
+//	POST /v1/predict   model predictions for one point or a batch
+//	POST /v1/simulate  submit a deterministic simulation as an async job
+//	GET  /v1/jobs/{id} poll a submitted job
+//	GET  /v1/metrics   current metrics snapshot
+//	GET  /healthz      liveness and queue state
+//
+// Internally every piece of work flows through one bounded job queue
+// feeding a fixed worker pool (internal/workpool). Predictions are
+// executed synchronously (the handler waits for its pool job);
+// simulations are asynchronous jobs polled via /v1/jobs. When the queue
+// is full the service sheds load with 429 + Retry-After instead of
+// queueing unboundedly — it never drops connections. Finished work lands
+// in an LRU cache keyed by a canonical request hash: requests are
+// normalized (defaults filled, model lists sorted) before hashing, and
+// simulations are seeded and deterministic, so a cache hit is exact and a
+// resubmitted simulation returns the identical result without re-running.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pftk/internal/obs"
+	"pftk/internal/workpool"
+)
+
+// Config sizes the service. Zero values mean defaults.
+type Config struct {
+	// Workers is the size of the worker pool; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job queue; default 256. A full queue turns
+	// into 429 responses.
+	QueueDepth int
+	// CacheEntries bounds the result LRU; default 4096.
+	CacheEntries int
+	// MaxBatch bounds the number of points in one predict batch;
+	// default 1024.
+	MaxBatch int
+	// MaxJobs bounds retained finished jobs; default 4096.
+	MaxJobs int
+	// RetryAfter is the hint returned with 429 responses; default 1 s.
+	RetryAfter time.Duration
+	// Registry receives service metrics; nil disables them at zero
+	// cost (the obs nil-handle convention).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// latencyBuckets spans 100 µs to 10 s, the range from an in-memory
+// prediction to a long queued simulation.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Server is the pftkd HTTP service. Create one with New; it implements
+// http.Handler.
+type Server struct {
+	cfg    Config
+	pool   *workpool.Pool
+	cache  *lruCache
+	jobs   *jobStore
+	mux    *http.ServeMux
+	closed atomic.Bool
+
+	// Metric handles; all nil (free no-ops) without a registry.
+	mRequests    *obs.Counter
+	m2xx, m4xx   *obs.Counter
+	m5xx         *obs.Counter
+	mRejected    *obs.Counter
+	mLatency     *obs.Histogram
+	mQueueDepth  *obs.Gauge
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mPredictPts  *obs.Counter
+	mJobsSub     *obs.Counter
+	mJobsDone    *obs.Counter
+	mJobsFailed  *obs.Counter
+}
+
+// New returns a ready-to-serve Server. Callers must Close it to drain
+// in-flight jobs.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:   cfg,
+		pool:  workpool.New(cfg.Workers, cfg.QueueDepth),
+		cache: newLRUCache(cfg.CacheEntries),
+		jobs:  newJobStore(cfg.MaxJobs),
+		mux:   http.NewServeMux(),
+
+		mRequests:    reg.Counter("serve.http.requests"),
+		m2xx:         reg.Counter("serve.http.responses.2xx"),
+		m4xx:         reg.Counter("serve.http.responses.4xx"),
+		m5xx:         reg.Counter("serve.http.responses.5xx"),
+		mRejected:    reg.Counter("serve.http.rejected"),
+		mLatency:     reg.Histogram("serve.http.latency.seconds", latencyBuckets),
+		mQueueDepth:  reg.Gauge("serve.queue.depth"),
+		mCacheHits:   reg.Counter("serve.cache.hits"),
+		mCacheMisses: reg.Counter("serve.cache.misses"),
+		mPredictPts:  reg.Counter("serve.predict.points"),
+		mJobsSub:     reg.Counter("serve.jobs.submitted"),
+		mJobsDone:    reg.Counter("serve.jobs.completed"),
+		mJobsFailed:  reg.Counter("serve.jobs.failed"),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// Close stops admitting work and blocks until every accepted job has
+// finished — the drain half of graceful shutdown. The HTTP listener (if
+// any) is the caller's to stop first.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.pool.Close()
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler with request accounting around the
+// route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mRequests.Inc()
+	s.mQueueDepth.Set(float64(s.pool.QueueDepth()))
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.mLatency.Observe(time.Since(start).Seconds())
+	switch {
+	case sw.code >= 500:
+		s.m5xx.Inc()
+	case sw.code >= 400:
+		s.m4xx.Inc()
+	default:
+		s.m2xx.Inc()
+	}
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with the given status. Encoding failures past the
+// header cannot be reported to the client; they surface in the 5xx
+// counter via a best-effort disconnect.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// rejectOverload sends the 429 + Retry-After admission-control response.
+func (s *Server) rejectOverload(w http.ResponseWriter) {
+	s.mRejected.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+}
+
+// decodeStrict decodes exactly one JSON value from the body, rejecting
+// unknown fields and trailing garbage.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// handleHealthz reports liveness and queue state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.closed.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.pool.QueueDepth(),
+		"cache_size":  s.cache.len(),
+	})
+}
+
+// handleMetrics serves the registry snapshot (empty without a registry).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.Snapshot())
+}
+
+// predictPayload accepts both request shapes of /v1/predict: a single
+// point (top-level fields) or a batch ("requests" array).
+type predictPayload struct {
+	PredictRequest
+	Requests []PredictRequest `json:"requests,omitempty"`
+}
+
+// BatchResponse carries per-point results of a predict batch, in request
+// order.
+type BatchResponse struct {
+	Results []PredictResponse `json:"results"`
+}
+
+// handlePredict evaluates the model family at one point or a batch of
+// points. The computation itself runs on the worker pool — the handler
+// goroutine only parses, consults the cache, and waits — so prediction
+// load is subject to the same admission control as simulations.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var payload predictPayload
+	if err := decodeStrict(r, &payload); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	batch := payload.Requests != nil
+	reqs := payload.Requests
+	if !batch {
+		reqs = []PredictRequest{payload.PredictRequest}
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(reqs), s.cfg.MaxBatch)
+		return
+	}
+	s.mPredictPts.Add(uint64(len(reqs)))
+
+	// Normalize and validate everything before doing any work, so a bad
+	// point fails the request instead of half-computing it.
+	keys := make([]string, len(reqs))
+	for i := range reqs {
+		reqs[i] = reqs[i].normalize()
+		if err := reqs[i].validate(); err != nil {
+			if batch {
+				writeError(w, http.StatusBadRequest, "request %d: %v", i, err)
+			} else {
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		keys[i] = canonicalKey("predict", reqs[i])
+	}
+
+	// Serve what the cache already knows; compute only the misses.
+	results := make([]PredictResponse, len(reqs))
+	var misses []int
+	for i, key := range keys {
+		if v, ok := s.cache.get(key); ok {
+			s.mCacheHits.Inc()
+			results[i] = v.(PredictResponse)
+			continue
+		}
+		s.mCacheMisses.Inc()
+		misses = append(misses, i)
+	}
+	if len(misses) > 0 {
+		var jobErr error
+		done := make(chan struct{})
+		accepted := s.pool.TrySubmit(func() {
+			defer close(done)
+			for _, i := range misses {
+				resp, err := predict(reqs[i])
+				if err != nil {
+					jobErr = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				results[i] = resp
+				s.cache.put(keys[i], resp)
+			}
+		})
+		if !accepted {
+			s.rejectOverload(w)
+			return
+		}
+		<-done
+		if jobErr != nil {
+			writeError(w, http.StatusBadRequest, "%v", jobErr)
+			return
+		}
+	}
+	if batch {
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+		return
+	}
+	writeJSON(w, http.StatusOK, results[0])
+}
+
+// handleSimulate admits one simulation job. Cache hits complete
+// immediately (200, status done, cached true); misses are queued on the
+// worker pool (202) and polled via /v1/jobs/{id}; a full queue is 429.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req = req.normalize()
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := canonicalKey("simulate", req)
+	if v, ok := s.cache.get(key); ok {
+		s.mCacheHits.Inc()
+		job := s.jobs.create(req)
+		s.jobs.finish(job.ID, v.(SimulateResult), true)
+		job, _ = s.jobs.get(job.ID)
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	s.mCacheMisses.Inc()
+	job := s.jobs.create(req)
+	accepted := s.pool.TrySubmit(func() {
+		s.jobs.setRunning(job.ID)
+		res := runSimulation(req)
+		s.cache.put(key, res)
+		s.jobs.finish(job.ID, res, false)
+		s.mJobsDone.Inc()
+	})
+	if !accepted {
+		s.jobs.fail(job.ID, "rejected: queue full")
+		s.mJobsFailed.Inc()
+		s.rejectOverload(w)
+		return
+	}
+	s.mJobsSub.Inc()
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleJob serves one job's current state.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

@@ -1,0 +1,111 @@
+// Package workpool provides the bounded-queue worker pool shared by the
+// pftkd serving daemon and the parallel experiment campaigns: a fixed
+// number of goroutines drain a bounded job queue, submission is
+// non-blocking (the caller decides what "queue full" means — pftkd turns
+// it into HTTP 429, campaigns block and retry), and Close drains every
+// accepted job before returning, which is what makes graceful daemon
+// shutdown and deterministic campaign teardown the same code path.
+package workpool
+
+import (
+	"sync"
+)
+
+// Pool runs submitted jobs on a fixed set of worker goroutines fed by a
+// bounded queue. Create one with New; the zero value is not usable.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup // live workers
+
+	mu      sync.RWMutex // guards closed vs. in-flight submits
+	closed  bool
+	pending sync.WaitGroup // accepted but unfinished jobs
+}
+
+// New returns a pool of the given number of workers behind a queue
+// holding up to depth jobs beyond the ones being executed. Both are
+// floored at 1.
+func New(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{jobs: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		job()
+		p.pending.Done()
+	}
+}
+
+// TrySubmit offers job to the queue without blocking. It returns false
+// when the queue is full or the pool is closed — the admission-control
+// signal behind pftkd's 429 responses.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	// The pending count is raised before the send: a worker may run the
+	// job (and call Done) before the send statement even returns.
+	p.pending.Add(1)
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		p.pending.Done()
+		return false
+	}
+}
+
+// Submit enqueues job, blocking while the queue is full. It returns
+// false only when the pool is already closed. Campaign runners use it to
+// apply backpressure instead of dropping work.
+//
+// The blocking send happens under the read lock, so Close (which takes
+// the write lock) cannot close the channel underneath it; workers keep
+// draining, so the send always completes.
+func (p *Pool) Submit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.pending.Add(1)
+	p.jobs <- job
+	return true
+}
+
+// QueueDepth returns the number of jobs waiting in the queue (not
+// counting jobs already picked up by workers).
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// Wait blocks until every job accepted so far has finished. The pool
+// stays open; campaigns use it as a barrier between submission rounds.
+func (p *Pool) Wait() { p.pending.Wait() }
+
+// Close stops accepting new jobs, drains every job already accepted, and
+// waits for the workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,104 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunsEveryJob(t *testing.T) {
+	p := New(4, 8)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Submit(func() { n.Add(1) }) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d jobs, want 100", got)
+	}
+}
+
+func TestTrySubmitRefusesWhenFull(t *testing.T) {
+	p := New(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	if !p.TrySubmit(func() { close(started); <-release }) {
+		t.Fatal("first TrySubmit refused")
+	}
+	<-started
+	// ...fill the single queue slot...
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("second TrySubmit refused with a free queue slot")
+	}
+	// ...and the next offer must bounce.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted with a full queue")
+	}
+	close(release)
+	p.Close()
+}
+
+func TestCloseDrainsAcceptedJobs(t *testing.T) {
+	p := New(2, 64)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.Submit(func() { n.Add(1) }) {
+			t.Fatal("Submit refused")
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("Close returned with %d/50 jobs done", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted after Close")
+	}
+	if p.Submit(func() {}) {
+		t.Fatal("Submit accepted after Close")
+	}
+	p.Close() // second Close is a no-op
+}
+
+func TestWaitIsABarrier(t *testing.T) {
+	p := New(3, 16)
+	defer p.Close()
+	var n atomic.Int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			if !p.Submit(func() { n.Add(1) }) {
+				t.Fatal("Submit refused")
+			}
+		}
+		p.Wait()
+		if got, want := n.Load(), int64((round+1)*20); got != want {
+			t.Fatalf("after round %d: %d jobs done, want %d", round, got, want)
+		}
+	}
+}
+
+func TestConcurrentSubmitAndClose(t *testing.T) {
+	// Hammer Submit/TrySubmit from many goroutines while Close runs;
+	// under -race this guards the closed-channel handshake.
+	p := New(4, 4)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if p.TrySubmit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if accepted.Load() != ran.Load() {
+		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}
