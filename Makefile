@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke check clean
+.PHONY: all build test test-short race cover bench fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -30,13 +30,16 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzDecodeTcpdump -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzDecodeJSONL -fuzztime 30s
 	$(GO) test ./internal/analysis -fuzz FuzzInferLossEvents -fuzztime 30s
+	$(GO) test ./internal/scenario -fuzz FuzzParseScenario -fuzztime 30s
 
-# Abbreviated fuzzing pass for CI: the trace decoders are the only parsers
-# fed attacker-controlled bytes, so they get 10 seconds each on every push.
+# Abbreviated fuzzing pass for CI: parsers fed attacker-controlled bytes
+# (the trace decoders and the scenario JSON parser, which rides inside
+# service requests) get 10 seconds each on every push.
 fuzz-ci:
 	$(GO) test ./internal/trace -fuzz FuzzDecode$$ -fuzztime 10s
 	$(GO) test ./internal/trace -fuzz FuzzDecodeTcpdump -fuzztime 10s
 	$(GO) test ./internal/trace -fuzz FuzzDecodeJSONL -fuzztime 10s
+	$(GO) test ./internal/scenario -fuzz FuzzParseScenario -fuzztime 10s
 
 # Regenerate every table and figure at the paper's campaign scale.
 experiments:
@@ -102,8 +105,32 @@ serve-smoke:
 	grep -q "drained and stopped" serve-smoke-out/pftkd.log
 	rm -rf serve-smoke-out
 
+# End-to-end scenario smoke test: simulate the bundled outage scenario
+# through tracesim, analyze it with traceanal, and diff the per-interval
+# report against the checked-in golden output. Any nondeterminism in the
+# scenario engine — or an unintended behavior change — shows up as a
+# golden diff. Regenerate with: make scenario-golden.
+SCENARIO_SMOKE_ARGS = -rtt 0.1 -loss 0.01 -wm 32 -dur 600 -seed 42 \
+	-scenario examples/scenarios/outage.json
+
+scenario-smoke:
+	rm -rf scenario-smoke-out && mkdir -p scenario-smoke-out
+	$(GO) run ./cmd/tracesim $(SCENARIO_SMOKE_ARGS) \
+		-o scenario-smoke-out/outage.pftk >/dev/null
+	$(GO) run ./cmd/traceanal -interval 100 scenario-smoke-out/outage.pftk \
+		> scenario-smoke-out/outage.out
+	diff -u examples/scenarios/outage.golden scenario-smoke-out/outage.out
+	rm -rf scenario-smoke-out
+
+# Refresh the scenario-smoke golden after an intentional change.
+scenario-golden:
+	$(GO) run ./cmd/tracesim $(SCENARIO_SMOKE_ARGS) -o /tmp/outage-golden.pftk >/dev/null
+	$(GO) run ./cmd/traceanal -interval 100 /tmp/outage-golden.pftk \
+		> examples/scenarios/outage.golden
+	rm -f /tmp/outage-golden.pftk
+
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke
+check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke scenario-smoke
 
 clean:
 	rm -rf results obs-smoke-out serve-smoke-out

@@ -73,8 +73,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("invalid trace: %w", err)
 	}
 
-	events := analysis.InferLossEvents(tr, *dupThresh)
-	sum := analysis.Summarize(tr, events)
+	sum := pftk.Analyze(tr, pftk.WithDupThreshold(*dupThresh))
 
 	w := cli.NewWriter(out)
 	w.Println("== Trace summary (Table II row) ==")
@@ -101,7 +100,7 @@ func run(args []string, out io.Writer) error {
 		return w.Err()
 	}
 
-	ivs := analysis.Intervals(tr, events, *interval)
+	ivs := analysis.Intervals(tr, sum.Events, *interval)
 	w.Printf("\n== Intervals (%.0f s) ==\n", *interval)
 	it := tablefmt.New("Start", "Pkts", "Loss", "p", "Category", "N_full", "N_approx", "N_tdonly")
 	for _, iv := range ivs {

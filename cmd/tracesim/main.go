@@ -6,6 +6,7 @@
 //
 //	tracesim -rtt 0.2 -loss 0.02 -burst 0.3 -wm 12 -dur 3600 -o trace.pftk
 //	tracesim -rtt 0.1 -loss 0.05 -format jsonl -o trace.jsonl
+//	tracesim -loss 0.01 -dur 600 -scenario examples/scenarios/step-loss.json -o step.pftk
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		dur     = fs.Float64("dur", 100, "transfer duration in simulated seconds")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		variant = fs.String("variant", "reno", "sender TCP flavor: reno, tahoe, linux, irix, newreno")
+		scnFile = fs.String("scenario", "", "JSON scenario file scheduling path changes and faults over the run")
 		out     = fs.String("o", "", "output trace file (default stdout summary only)")
 		format  = fs.String("format", "binary", "trace format: binary, jsonl or tcpdump")
 		debug   = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0) while running")
@@ -73,22 +75,35 @@ func run(args []string, stdout io.Writer) error {
 		_, _ = fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/\n", addr)
 	}
 
-	res := pftk.Simulate(pftk.SimConfig{
-		RTT:      *rtt,
-		LossRate: *loss,
-		BurstDur: *burst,
-		Wm:       *wm,
-		MinRTO:   *minRTO,
-		Duration: *dur,
-		Seed:     *seed,
-		Variant:  *variant,
-	})
+	var sc *pftk.Scenario
+	if *scnFile != "" {
+		var err error
+		if sc, err = pftk.ParseScenarioFile(*scnFile); err != nil {
+			return fmt.Errorf("-scenario: %w", err)
+		}
+	}
+
+	var phases []pftk.PhaseStat
+	res := pftk.Sim(
+		pftk.WithPath(*rtt),
+		pftk.WithBurstLoss(*loss, *burst),
+		pftk.WithWindow(*wm),
+		pftk.WithMinRTO(*minRTO),
+		pftk.WithDuration(*dur),
+		pftk.WithSeed(*seed),
+		pftk.WithOS(*variant),
+		pftk.WithScenario(sc),
+		pftk.WithPhaseStats(&phases),
+	)
 
 	w := cli.NewWriter(stdout)
 	w.Printf("simulated %.0f s: %s\n", *dur, res)
 	w.Printf("  send rate  %.2f pkts/s, throughput %.2f pkts/s\n", res.SendRate(), res.Throughput())
 	w.Printf("  loss indication rate %.4f\n", res.LossIndicationRate())
 	w.Printf("  trace records: %d\n", len(res.Trace))
+	for _, ps := range phases {
+		w.Printf("  scenario %s\n", ps)
+	}
 
 	if *out == "" {
 		return w.Err()

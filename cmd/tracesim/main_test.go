@@ -140,3 +140,48 @@ func TestFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestScenarioFlag drives a scheduled step-loss run through the CLI:
+// the scenario file is parsed, the per-segment attribution is printed,
+// and a lossier second half means more retransmissions than the
+// scenario-free twin.
+func TestScenarioFlag(t *testing.T) {
+	scn := filepath.Join(t.TempDir(), "step.json")
+	doc := `{"name":"step","phases":[{"at":50,"loss":{"rate":0.2}}]}`
+	if err := os.WriteFile(scn, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var with, without bytes.Buffer
+	args := []string{"-dur", "100", "-loss", "0.01", "-seed", "3"}
+	if err := run(append(args, "-scenario", scn), &with); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &without); err != nil {
+		t.Fatal(err)
+	}
+	s := with.String()
+	if !strings.Contains(s, "scenario base [0, 50)") || !strings.Contains(s, "scenario phase 0 [50, 100)") {
+		t.Errorf("per-segment attribution missing from output:\n%s", s)
+	}
+	if strings.Contains(without.String(), "scenario") {
+		t.Errorf("scenario-free run printed segment stats:\n%s", without.String())
+	}
+}
+
+// TestScenarioFlagRejectsBadFile surfaces parse and validation errors
+// with the flag's name attached.
+func TestScenarioFlagRejectsBadFile(t *testing.T) {
+	scn := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(scn, []byte(`{"phases":[{"at":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-dur", "5", "-scenario", scn}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Errorf("bad scenario file not rejected with flag context: %v", err)
+	}
+	err = run([]string{"-dur", "5", "-scenario", filepath.Join(t.TempDir(), "missing.json")}, &out)
+	if err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}

@@ -52,15 +52,19 @@ func ExampleLossRateFor() {
 	// Output: 20 pkts/s tolerates p = 0.0211
 }
 
-// Simulate runs a packet-level TCP Reno transfer over an emulated lossy
+// Sim runs a packet-level TCP Reno transfer over an emulated lossy
 // path; Analyze applies the paper's trace-analysis methodology to the
 // resulting sender-side trace.
-func ExampleSimulate() {
-	res := pftk.Simulate(pftk.SimConfig{
-		RTT: 0.1, LossRate: 0.02, Wm: 16, MinRTO: 1,
-		Duration: 500, Seed: 42,
-	})
-	sum := pftk.Analyze(res.Trace, 3)
+func ExampleSim() {
+	res := pftk.Sim(
+		pftk.WithPath(0.1),
+		pftk.WithLoss(0.02),
+		pftk.WithWindow(16),
+		pftk.WithMinRTO(1),
+		pftk.WithDuration(500),
+		pftk.WithSeed(42),
+	)
+	sum := pftk.Analyze(res.Trace)
 	fmt.Printf("loss indications: %d (TD %d, timeout sequences %d)\n",
 		sum.LossIndications, sum.TD, sum.TimeoutSequences())
 	fmt.Printf("measured p: %.3f\n", sum.P)

@@ -42,7 +42,7 @@ func main() {
 }
 
 func report(tr pftk.Trace, res reno.Result, wm float64) {
-	sum := pftk.Analyze(tr, 3)
+	sum := pftk.Analyze(tr)
 	rho := pftk.RTTWindowCorrelation(tr)
 	fmt.Printf("  measured: rate %.2f pkts/s, p %.4f, RTT %.3fs, T0 %.3fs\n",
 		res.SendRate(), sum.P, sum.MeanRTT, sum.MeanT0)
@@ -53,8 +53,7 @@ func report(tr pftk.Trace, res reno.Result, wm float64) {
 		fmt.Println("  (insufficient measurements for model comparison)")
 		return
 	}
-	events := pftk.AnalyzeEvents(tr, 3)
-	ivs := pftk.Intervals(tr, events, 100)
+	ivs := pftk.Intervals(tr, sum.Events, 100)
 	err := analysis.ModelError(ivs, core.ModelFull, params)
 	fmt.Printf("  full-model prediction: %.2f pkts/s, average interval error %.3f\n",
 		pftk.SendRate(sum.P, params), err)

@@ -35,7 +35,7 @@ func main() {
 		Duration: 1000,
 		Seed:     42,
 	})
-	sum := pftk.Analyze(res.Trace, 3)
+	sum := pftk.Analyze(res.Trace)
 	measured := pftk.Params{RTT: sum.MeanRTT, T0: sum.MeanT0, Wm: 12, B: 2}
 	fmt.Println()
 	fmt.Printf("simulated 1000 s at 2%% loss: measured p=%.4f RTT=%.3fs T0=%.3fs\n",

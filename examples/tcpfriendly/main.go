@@ -59,7 +59,7 @@ func main() {
 			RTT: 0.15, LossRate: p, Wm: 32, MinRTO: 1.2,
 			Duration: 2000, Seed: uint64(p * 1e4),
 		})
-		sum := pftk.Analyze(res.Trace, 3)
+		sum := pftk.Analyze(res.Trace)
 		fair := pftk.FriendlyRate(sum.P, params)
 		fmt.Printf("  loss %.2f: simulated TCP %.1f pkts/s, controller target %.1f pkts/s (ratio %.2f)\n",
 			p, res.SendRate(), fair, fair/res.SendRate())

@@ -26,7 +26,7 @@ func main() {
 			Duration: 3000,
 			Seed:     uint64(loss * 1e6),
 		})
-		sum := pftk.Analyze(res.Trace, 3)
+		sum := pftk.Analyze(res.Trace)
 		params := pftk.Params{RTT: sum.MeanRTT, T0: sum.MeanT0, Wm: 24, B: 2}
 		if params.Validate() != nil {
 			params = pftk.NewParams(0.18, 1.0, 24)

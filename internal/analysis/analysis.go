@@ -275,6 +275,11 @@ type Summary struct {
 	MeanRTT float64
 	// MeanT0 is the average duration of a single (first) timeout.
 	MeanT0 float64
+	// Events are the classified loss indications the summary was built
+	// from, in trace order, so one analysis pass serves both the
+	// Table II row and event-level consumers (interval decomposition,
+	// timeout studies).
+	Events []LossEvent
 }
 
 // TimeoutSequences returns the total number of timeout sequences.
@@ -298,6 +303,7 @@ func Summarize(tr trace.Trace, events []LossEvent) Summary {
 	s := Summary{
 		Duration:    tr.Duration(),
 		PacketsSent: tr.PacketsSent(),
+		Events:      events,
 	}
 	var t0s stats.Running
 	for _, e := range events {

@@ -386,8 +386,13 @@ func SendRateTDOnlyExact(p float64, rtt, b float64) float64 {
 //	B(p) = (1/RTT)·sqrt(3/(2bp))
 //
 // It returns +Inf at p == 0 and does not account for timeouts or the
-// receiver window.
+// receiver window. A delayed-ACK ratio b below 1 (unset) defaults to
+// DefaultB, so every caller — the pftk facade, the prediction service,
+// the experiment harness — sees identical defaulting.
 func SendRateTDOnly(p float64, rtt, b float64) float64 {
+	if b < 1 {
+		b = DefaultB
+	}
 	if invariant.Enabled {
 		invariant.Probability("loss rate p", p)
 		invariant.Positive("RTT", rtt)

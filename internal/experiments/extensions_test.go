@@ -78,13 +78,13 @@ func TestShortFlowsReport(t *testing.T) {
 }
 
 func TestRegistryIncludesExtensions(t *testing.T) {
-	for _, id := range []string{"lossmodels", "shortflows", "fairness", "regimes"} {
+	for _, id := range []string{"lossmodels", "shortflows", "fairness", "regimes", "nonstationary"} {
 		if _, err := Get(id); err != nil {
 			t.Errorf("extension %s not registered: %v", id, err)
 		}
 	}
-	if len(IDs()) != 15 {
-		t.Errorf("registry size = %d, want 15", len(IDs()))
+	if len(IDs()) != 16 {
+		t.Errorf("registry size = %d, want 16", len(IDs()))
 	}
 }
 

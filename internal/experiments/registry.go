@@ -12,21 +12,22 @@ type Runner func(Options) *Report
 
 // registry maps experiment IDs to runners.
 var registry = map[string]Runner{
-	"table1":      Table1,
-	"table2":      Table2,
-	"fig7":        Fig7,
-	"fig8":        Fig8,
-	"fig9":        Fig9,
-	"fig10":       Fig10,
-	"fig11":       Fig11,
-	"fig12":       Fig12,
-	"fig13":       Fig13,
-	"correlation": Correlation,
-	"lossmodels":  LossModels,
-	"shortflows":  ShortFlows,
-	"fairness":    Fairness,
-	"regimes":     Regimes,
-	"evolution":   Evolution,
+	"table1":        Table1,
+	"table2":        Table2,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"fig11":         Fig11,
+	"fig12":         Fig12,
+	"fig13":         Fig13,
+	"correlation":   Correlation,
+	"lossmodels":    LossModels,
+	"shortflows":    ShortFlows,
+	"fairness":      Fairness,
+	"regimes":       Regimes,
+	"evolution":     Evolution,
+	"nonstationary": Nonstationary,
 }
 
 // IDs returns the registered experiment identifiers, sorted.
@@ -85,6 +86,7 @@ func RunAllTimed(o Options, onDone func(r *Report, wallSeconds float64)) []*Repo
 		{"fairness", func() *Report { return Fairness(o) }},
 		{"regimes", func() *Report { return Regimes(o) }},
 		{"evolution", func() *Report { return Evolution(o) }},
+		{"nonstationary", func() *Report { return Nonstationary(o) }},
 	}
 	out := make([]*Report, 0, len(steps))
 	for _, s := range steps {

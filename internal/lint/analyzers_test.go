@@ -108,6 +108,31 @@ func copies(g *Guarded) {
 func wait(wg sync.WaitGroup) { wg.Wait() } // want mutexcopy (parameter)
 `,
 
+	"ctorbad/ctorbad.go": `package ctorbad
+
+type Thing struct{ a, b, c, d, e, f float64 }
+
+type Option func(*Thing)
+
+func NewThing(a, b, c, d, e, f float64) *Thing { return &Thing{a, b, c, d, e, f} } // want ctorparams
+
+func NewSplit(a, b float64, c, d int, e string, f bool) *Thing { return nil } // want ctorparams
+
+func NewOK(a, b, c, d, e float64) *Thing { return nil } // allowed: exactly 5
+
+func NewWithOpts(a float64, opts ...Option) *Thing { return nil } // allowed: variadic tail uncounted
+
+func New(a, b, c, d, e, f int) *Thing { return nil } // want ctorparams (bare New)
+
+func newThing(a, b, c, d, e, f float64) *Thing { return nil } // allowed: unexported
+
+func Newton(a, b, c, d, e, f float64) float64 { return a } // allowed: not the New idiom
+
+type Builder struct{}
+
+func (Builder) NewThing(a, b, c, d, e, f float64) *Thing { return nil } // allowed: method
+`,
+
 	"ignored/ignored.go": `package ignored
 
 func sameLine(a, b float64) bool {
@@ -251,6 +276,16 @@ func TestMutexCopyFixture(t *testing.T) {
 		{15, "call passes lock by value"},
 		{18, "call passes lock by value"},
 		{21, "parameter of type sync.WaitGroup"},
+	})
+}
+
+func TestCtorParamsFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["ctorbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{CtorParamsAnalyzer})
+	checkDiags(t, got, []expectation{
+		{7, "NewThing takes 6 positional parameters"},
+		{9, "NewSplit takes 6 positional parameters"},
+		{15, "New takes 6 positional parameters"},
 	})
 }
 

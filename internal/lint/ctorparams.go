@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// maxCtorParams is the largest positional-parameter count an exported
+// constructor may have before the analyzer fires.
+const maxCtorParams = 5
+
+// CtorParamsAnalyzer flags exported constructors — top-level exported
+// functions whose name starts with "New" — that take more than
+// maxCtorParams positional parameters. Past that point a call site is a
+// row of unlabeled literals whose order the compiler cannot check
+// (NewThing(0.1, 0.2, 64, 1, 100, 42) transposes silently); the
+// project's convention is a config struct or functional options
+// (pftk.Sim(opts ...SimOption)) instead. A trailing variadic parameter
+// is not counted: it is exactly the options idiom the rule steers
+// toward.
+var CtorParamsAnalyzer = &Analyzer{
+	Name: "ctorparams",
+	Doc:  "flags exported New* constructors with more than 5 positional parameters",
+	Run:  runCtorParams,
+}
+
+func runCtorParams(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !isCtorName(fd.Name.Name) {
+				continue
+			}
+			n := 0
+			for _, field := range fd.Type.Params.List {
+				if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+					continue // the functional-options tail
+				}
+				// A grouped declaration (a, b float64) is two positional
+				// slots; an unnamed parameter is one.
+				if len(field.Names) == 0 {
+					n++
+				} else {
+					n += len(field.Names)
+				}
+			}
+			if n > maxCtorParams {
+				p.Reportf(fd.Name.Pos(),
+					"constructor %s takes %d positional parameters (max %d); use a config struct or functional options",
+					fd.Name.Name, n, maxCtorParams)
+			}
+		}
+	}
+}
+
+// isCtorName reports whether name follows the constructor idiom: "New"
+// alone or "New" followed by an exported-style segment ("NewConnection",
+// but not "Newton").
+func isCtorName(name string) bool {
+	if name == "New" {
+		return true
+	}
+	rest, ok := strings.CutPrefix(name, "New")
+	if !ok || rest == "" {
+		return false
+	}
+	c := rest[0]
+	return c >= 'A' && c <= 'Z'
+}

@@ -12,6 +12,8 @@
 //   - errdrop: discarded error results in non-test code.
 //   - panicstyle: panic messages must carry the "<pkg>: " prefix.
 //   - mutexcopy: sync.Mutex-bearing values passed or copied by value.
+//   - ctorparams: exported New* constructors taking more than 5
+//     positional parameters (use a config struct or functional options).
 //
 // A diagnostic can be suppressed at a specific site with a directive
 // comment on, or on the line before, the offending line:
@@ -48,6 +50,7 @@ var Analyzers = []*Analyzer{
 	ErrDropAnalyzer,
 	PanicStyleAnalyzer,
 	MutexCopyAnalyzer,
+	CtorParamsAnalyzer,
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,180 @@
+package netem
+
+import (
+	"testing"
+
+	"pftk/internal/sim"
+)
+
+// collect returns a deliver callback appending payloads (ints) to out in
+// arrival order.
+func collect(out *[]int) func(any) {
+	return func(p any) { *out = append(*out, p.(int)) }
+}
+
+func TestLinkSetLossTakesEffectImmediately(t *testing.T) {
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{})
+	var got []int
+	l.Send(1, collect(&got))
+	l.SetLoss(NewScript(0)) // drop the next offered packet
+	l.Send(2, collect(&got))
+	l.SetLoss(nil)
+	l.Send(3, collect(&got))
+	eng.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+	if s := l.Stats(); s.RandomDrops != 1 {
+		t.Fatalf("RandomDrops = %d, want 1", s.RandomDrops)
+	}
+}
+
+func TestLinkSetDelayChangesRTTMidRun(t *testing.T) {
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{Delay: ConstantDelay(0.1)})
+	var arrivals []float64
+	deliver := func(any) { arrivals = append(arrivals, eng.Now()) }
+	l.Send(1, deliver)
+	eng.Run()
+	l.SetDelay(ConstantDelay(0.5))
+	l.Send(2, deliver)
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 0.1 {
+		t.Errorf("first arrival at %g, want 0.1", arrivals[0])
+	}
+	if arrivals[1] != 0.6 {
+		t.Errorf("second arrival at %g, want 0.6", arrivals[1])
+	}
+}
+
+func TestLinkSetRateInfiniteDrainsQueue(t *testing.T) {
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{Rate: 1, QueueCap: 10})
+	var got []int
+	// First packet enters service (1 s serialization); the rest queue.
+	for i := 1; i <= 4; i++ {
+		l.Send(i, collect(&got))
+	}
+	if l.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d, want 3", l.QueueLen())
+	}
+	// Switch to an infinitely fast link: when the in-service packet
+	// completes, the backlog must drain immediately rather than hang.
+	l.SetRate(0)
+	eng.Run()
+	if len(got) != 4 {
+		t.Fatalf("delivered %v, want all 4", got)
+	}
+	if l.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d after drain, want 0", l.QueueLen())
+	}
+}
+
+func TestLinkSetQueueCapAffectsNewArrivalsOnly(t *testing.T) {
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{Rate: 1, QueueCap: 4})
+	var got []int
+	for i := 1; i <= 5; i++ { // 1 in service, 4 queued
+		l.Send(i, collect(&got))
+	}
+	l.SetQueueCap(1) // shrink below current backlog: nothing evicted
+	if l.QueueLen() != 4 {
+		t.Fatalf("QueueLen = %d, want 4 (no eviction)", l.QueueLen())
+	}
+	l.Send(6, collect(&got)) // over the new cap: dropped
+	if s := l.Stats(); s.QueueDrops != 1 {
+		t.Fatalf("QueueDrops = %d, want 1", s.QueueDrops)
+	}
+	eng.Run()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d packets, want 5", len(got))
+	}
+}
+
+func TestLinkDuplicateWindow(t *testing.T) {
+	var eng sim.Engine
+	l := NewLink(&eng, LinkConfig{})
+	var got []int
+	l.SetDuplicate(1, sim.NewRNG(1)) // duplicate every packet
+	for i := 1; i <= 3; i++ {
+		l.Send(i, collect(&got))
+	}
+	l.SetDuplicate(0, nil)
+	l.Send(4, collect(&got))
+	eng.Run()
+	if len(got) != 7 {
+		t.Fatalf("delivered %v, want 3 duplicated + 1 single = 7", got)
+	}
+	if s := l.Stats(); s.Duplicated != 3 {
+		t.Fatalf("Duplicated = %d, want 3", s.Duplicated)
+	}
+}
+
+func TestLinkReorderWindowAllowsOvertaking(t *testing.T) {
+	var eng sim.Engine
+	// Scripted delays: first packet slow, second fast.
+	delays := []float64{0.5, 0.1}
+	i := 0
+	l := NewLink(&eng, LinkConfig{Delay: delayFunc(func() float64 {
+		d := delays[i%len(delays)]
+		i++
+		return d
+	})})
+	var got []int
+	l.SetReorder(true)
+	l.Send(1, collect(&got))
+	l.Send(2, collect(&got))
+	eng.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v, want [2 1] (overtaking allowed)", got)
+	}
+
+	// With the clamp restored, the same delays stay FIFO.
+	l.SetReorder(false)
+	i = 0
+	got = nil
+	l.Send(1, collect(&got))
+	l.Send(2, collect(&got))
+	eng.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2] (FIFO clamp)", got)
+	}
+}
+
+// delayFunc adapts a closure to DelayProcess for tests.
+type delayFunc func() float64
+
+func (f delayFunc) Delay(float64) float64 { return f() }
+
+func TestPathImplementsController(t *testing.T) {
+	var eng sim.Engine
+	p := NewPath(&eng, SymmetricPath(0.05, nil))
+	var pc PathController = p
+
+	pc.SetLoss(NewScript(0))
+	if pc.Loss() == nil {
+		t.Fatal("Loss() = nil after SetLoss")
+	}
+	pc.SetOneWayDelay(ConstantDelay(0.2), ConstantDelay(0.2))
+	pc.SetBottleneck(100, 8)
+	pc.SetDuplicate(0.5, sim.NewRNG(2))
+	pc.SetReorder(true)
+
+	var got []int
+	p.Forward.Send(1, collect(&got)) // dropped by the script
+	eng.Run()
+	if st := pc.DataStats(); st.Offered != 1 || st.RandomDrops != 1 {
+		t.Fatalf("DataStats = %+v, want offered=1 randomDrops=1", st)
+	}
+
+	// Nil delay leaves a direction untouched.
+	before := p.Reverse.Delay()
+	pc.SetOneWayDelay(ConstantDelay(0.3), nil)
+	if p.Reverse.Delay() != before {
+		t.Error("nil reverse delay replaced the existing process")
+	}
+}

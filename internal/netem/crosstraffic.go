@@ -25,9 +25,21 @@ type CrossTraffic struct {
 	stopped  bool
 }
 
+// CrossTrafficConfig parameterizes a generator.
+type CrossTrafficConfig struct {
+	// Rate is the packet arrival rate during ON periods (pkts/s); 0
+	// makes Start a no-op.
+	Rate float64
+	// OnMean and OffMean are the mean ON/OFF period lengths in seconds;
+	// OffMean = 0 disables OFF periods (plain Poisson arrivals).
+	OnMean, OffMean float64
+	// RNG drives the arrival and period processes.
+	RNG *sim.RNG
+}
+
 // NewCrossTraffic creates a generator feeding link. Call Start to begin.
-func NewCrossTraffic(eng *sim.Engine, link *Link, rate, onMean, offMean float64, rng *sim.RNG) *CrossTraffic {
-	return &CrossTraffic{Link: link, Rate: rate, OnMean: onMean, OffMean: offMean, eng: eng, rng: rng}
+func NewCrossTraffic(eng *sim.Engine, link *Link, cfg CrossTrafficConfig) *CrossTraffic {
+	return &CrossTraffic{Link: link, Rate: cfg.Rate, OnMean: cfg.OnMean, OffMean: cfg.OffMean, eng: eng, rng: cfg.RNG}
 }
 
 // Injected returns the number of background packets offered so far.

@@ -57,6 +57,7 @@ type LinkStats struct {
 	Delivered    int // packets handed to the receiver
 	RandomDrops  int // dropped by the LossModel
 	QueueDrops   int // dropped by drop-tail overflow
+	Duplicated   int // extra copies injected by a duplication window
 	MaxQueue     int // high-water mark of the queue, in packets
 	BusySeconds  float64
 	lastBusyFrom float64
@@ -106,6 +107,11 @@ type Link struct {
 	queue   []queued
 	stats   LinkStats
 	lastOut float64 // latest scheduled delivery time, for FIFO clamping
+
+	// Fault-injection state, mutable at runtime (see the Set* methods).
+	dupP    float64  // per-packet duplication probability; 0 disables
+	dupRNG  *sim.RNG // stream for duplication decisions
+	reorder bool     // when set, the FIFO delivery clamp is suspended
 }
 
 type queued struct {
@@ -130,6 +136,8 @@ func (l *Link) QueueLen() int { return len(l.queue) }
 // Send offers one packet to the link. deliver is invoked with payload at
 // the receiver once the packet survives loss, queueing and propagation;
 // dropped packets simply never arrive, exactly like the real network.
+// During a duplication window an extra copy of the packet may be admitted
+// behind the original, riding the same queue.
 func (l *Link) Send(payload any, deliver func(any)) {
 	if deliver == nil {
 		panic("netem: nil deliver callback")
@@ -142,10 +150,16 @@ func (l *Link) Send(payload any, deliver func(any)) {
 		l.cfg.Metrics.LossDrops.Inc()
 		return
 	}
-	if l.cfg.Rate <= 0 {
-		l.propagate(payload, deliver)
-		return
+	l.admit(payload, deliver)
+	if l.dupP > 0 && l.dupRNG != nil && l.dupRNG.Bool(l.dupP) {
+		l.stats.Duplicated++
+		l.admit(payload, deliver)
 	}
+}
+
+// admit routes one surviving packet into the rate server (or straight to
+// propagation on an infinitely fast link).
+func (l *Link) admit(payload any, deliver func(any)) {
 	if l.busy {
 		if len(l.queue) >= l.cfg.QueueCap {
 			l.stats.QueueDrops++
@@ -159,11 +173,28 @@ func (l *Link) Send(payload any, deliver func(any)) {
 		l.cfg.Metrics.Queue.Set(float64(len(l.queue)))
 		return
 	}
+	if l.cfg.Rate <= 0 {
+		l.propagate(payload, deliver)
+		return
+	}
 	l.serve(payload, deliver)
 }
 
-// serve puts a packet into transmission.
+// serve puts a packet into transmission. If the link rate was switched to
+// infinite while packets were queued, the backlog drains immediately.
 func (l *Link) serve(payload any, deliver func(any)) {
+	if l.cfg.Rate <= 0 {
+		l.busy = false
+		l.propagate(payload, deliver)
+		for len(l.queue) > 0 {
+			next := l.queue[0]
+			copy(l.queue, l.queue[1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			l.propagate(next.payload, next.deliver)
+		}
+		l.cfg.Metrics.Queue.Set(0)
+		return
+	}
 	l.busy = true
 	l.stats.lastBusyFrom = l.eng.Now()
 	txTime := 1 / l.cfg.Rate
@@ -183,7 +214,10 @@ func (l *Link) serve(payload any, deliver func(any)) {
 }
 
 // propagate schedules final delivery after the propagation delay,
-// clamping so deliveries stay in FIFO order under jitter.
+// clamping so deliveries stay in FIFO order under jitter. During a
+// reordering window the clamp is suspended: a short-delay packet may
+// overtake its predecessors, which is exactly the pathology the fault
+// injects.
 func (l *Link) propagate(payload any, deliver func(any)) {
 	d := 0.0
 	if l.cfg.Delay != nil {
@@ -193,14 +227,53 @@ func (l *Link) propagate(payload any, deliver func(any)) {
 		d = 0
 	}
 	at := l.eng.Now() + d
-	if at < l.lastOut {
+	if !l.reorder && at < l.lastOut {
 		at = l.lastOut
 	}
-	l.lastOut = at
+	if at > l.lastOut {
+		l.lastOut = at
+	}
 	l.stats.Delivered++
 	l.cfg.Metrics.Delivered.Inc()
 	l.eng.Schedule(at, func() { deliver(payload) })
 }
+
+// SetLoss replaces the link's loss model; nil disables loss. Effective
+// for the next offered packet.
+func (l *Link) SetLoss(m LossModel) { l.cfg.Loss = m }
+
+// Loss returns the link's current loss model (nil when lossless).
+func (l *Link) Loss() LossModel { return l.cfg.Loss }
+
+// SetDelay replaces the link's propagation-delay process; nil means zero
+// delay. In-flight packets keep the delay they were assigned.
+func (l *Link) SetDelay(d DelayProcess) { l.cfg.Delay = d }
+
+// Delay returns the link's current delay process.
+func (l *Link) Delay() DelayProcess { return l.cfg.Delay }
+
+// SetRate changes the transmission rate in packets per second; 0 or
+// negative means infinitely fast. A packet already in transmission keeps
+// its old serialization time; queued packets are served at the new rate
+// (and drain immediately when the link becomes infinitely fast).
+func (l *Link) SetRate(rate float64) { l.cfg.Rate = rate }
+
+// SetQueueCap changes the drop-tail capacity. Already-queued packets are
+// never evicted; a shrunken capacity only affects new arrivals.
+func (l *Link) SetQueueCap(capacity int) { l.cfg.QueueCap = capacity }
+
+// SetDuplicate opens (p > 0) or closes (p <= 0) a duplication window:
+// each surviving packet is duplicated with probability p, drawing
+// decisions from rng.
+func (l *Link) SetDuplicate(p float64, rng *sim.RNG) {
+	l.dupP = p
+	l.dupRNG = rng
+}
+
+// SetReorder suspends (on) or restores (off) the FIFO delivery clamp.
+// With the clamp suspended, delay jitter translates into out-of-order
+// arrivals — the duplicate-ACK generator of real networks.
+func (l *Link) SetReorder(on bool) { l.reorder = on }
 
 // PathConfig describes a bidirectional sender-receiver path.
 type PathConfig struct {
@@ -221,6 +294,69 @@ func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
 		Reverse: NewLink(eng, cfg.Reverse),
 	}
 }
+
+// PathController is the runtime-mutation surface of an emulated path: the
+// handle a scenario engine drives to change path conditions and inject
+// faults mid-simulation. All methods follow the convention of the paper's
+// unidirectional bulk transfers: loss, bottleneck, duplication and
+// reordering act on the forward (data) direction, while delay is settable
+// per direction so an RTT change splits across both. Implementations are
+// driven from the single simulation goroutine and need no locking.
+type PathController interface {
+	// SetLoss replaces the data-direction loss model (nil = lossless).
+	SetLoss(m LossModel)
+	// Loss returns the data-direction loss model currently installed.
+	Loss() LossModel
+	// SetOneWayDelay replaces the delay processes of the forward and
+	// reverse directions (nil leaves a direction unchanged).
+	SetOneWayDelay(fwd, rev DelayProcess)
+	// SetBottleneck reconfigures the data direction's transmission rate
+	// (packets/s; <= 0 means infinitely fast) and drop-tail capacity.
+	SetBottleneck(rate float64, queueCap int)
+	// SetDuplicate opens (p > 0) or closes a data-direction duplication
+	// window.
+	SetDuplicate(p float64, rng *sim.RNG)
+	// SetReorder suspends (on) or restores the data direction's FIFO
+	// delivery ordering.
+	SetReorder(on bool)
+	// DataStats snapshots the data-direction link counters, the basis
+	// for per-phase packet/drop attribution.
+	DataStats() LinkStats
+}
+
+var _ PathController = (*Path)(nil)
+
+// SetLoss implements PathController on the forward link.
+func (p *Path) SetLoss(m LossModel) { p.Forward.SetLoss(m) }
+
+// Loss implements PathController.
+func (p *Path) Loss() LossModel { return p.Forward.Loss() }
+
+// SetOneWayDelay implements PathController; a nil process leaves that
+// direction's delay unchanged.
+func (p *Path) SetOneWayDelay(fwd, rev DelayProcess) {
+	if fwd != nil {
+		p.Forward.SetDelay(fwd)
+	}
+	if rev != nil {
+		p.Reverse.SetDelay(rev)
+	}
+}
+
+// SetBottleneck implements PathController on the forward link.
+func (p *Path) SetBottleneck(rate float64, queueCap int) {
+	p.Forward.SetRate(rate)
+	p.Forward.SetQueueCap(queueCap)
+}
+
+// SetDuplicate implements PathController on the forward link.
+func (p *Path) SetDuplicate(prob float64, rng *sim.RNG) { p.Forward.SetDuplicate(prob, rng) }
+
+// SetReorder implements PathController on the forward link.
+func (p *Path) SetReorder(on bool) { p.Forward.SetReorder(on) }
+
+// DataStats implements PathController.
+func (p *Path) DataStats() LinkStats { return p.Forward.Stats() }
 
 // SymmetricPath returns a PathConfig with the given one-way delay process
 // constructors, loss on the forward direction only (the common case for

@@ -334,7 +334,7 @@ func TestModemPathQueueingDelayGrowsWithBacklog(t *testing.T) {
 func TestCrossTrafficPoissonRate(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{}) // infinitely fast sink
-	ct := NewCrossTraffic(&eng, l, 50, 0, 0, sim.NewRNG(11))
+	ct := NewCrossTraffic(&eng, l, CrossTrafficConfig{Rate: 50, RNG: sim.NewRNG(11)})
 	ct.Start()
 	eng.RunUntil(100)
 	got := float64(ct.Injected()) / 100
@@ -348,7 +348,7 @@ func TestCrossTrafficOnOffDutyCycle(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{})
 	// 50% duty cycle: mean rate should be ~half the ON rate.
-	ct := NewCrossTraffic(&eng, l, 100, 1, 1, sim.NewRNG(13))
+	ct := NewCrossTraffic(&eng, l, CrossTrafficConfig{Rate: 100, OnMean: 1, OffMean: 1, RNG: sim.NewRNG(13)})
 	ct.Start()
 	eng.RunUntil(200)
 	got := float64(ct.Injected()) / 200
@@ -361,7 +361,7 @@ func TestCrossTrafficOnOffDutyCycle(t *testing.T) {
 func TestCrossTrafficZeroRateNoop(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{})
-	ct := NewCrossTraffic(&eng, l, 0, 0, 0, sim.NewRNG(1))
+	ct := NewCrossTraffic(&eng, l, CrossTrafficConfig{RNG: sim.NewRNG(1)})
 	ct.Start()
 	eng.RunUntil(10)
 	if ct.Injected() != 0 {
@@ -374,7 +374,7 @@ func TestCrossTrafficCongestsBottleneck(t *testing.T) {
 	// drops for a probe stream.
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 20, QueueCap: 10})
-	ct := NewCrossTraffic(&eng, l, 40, 0, 0, sim.NewRNG(17))
+	ct := NewCrossTraffic(&eng, l, CrossTrafficConfig{Rate: 40, RNG: sim.NewRNG(17)})
 	ct.Start()
 	eng.RunUntil(50)
 	ct.Stop()

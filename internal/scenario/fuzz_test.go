@@ -1,0 +1,38 @@
+package scenario
+
+import "testing"
+
+// FuzzParseScenario hammers the JSON parser with arbitrary bytes. Parse
+// must never panic, and any document it accepts must survive the
+// Encode → Parse round-trip with an identical content hash — the
+// property the golden test pins for one document, checked here for all.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(goldenJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"phases": [{"at": 0, "rtt": 0.2}]}`))
+	f.Add([]byte(`{"faults": [{"kind": "outage", "start": 1, "dur": 2, "period": 4, "count": 2}]}`))
+	f.Add([]byte(`{"phases": [{"at": 1, "loss": {"rate": 0.5, "model": "ge", "burst_len": 3}}]}`))
+	f.Add([]byte(`{"name": "x", "unknown": 1}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario its own Validate rejects: %v", err)
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("Encode of parsed scenario failed: %v", err)
+		}
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("round-trip Parse failed: %v\ndoc: %s", err, enc)
+		}
+		if again.Hash() != s.Hash() {
+			t.Fatalf("round-trip changed the scenario:\nbefore %s\nafter  %s", s.Hash(), again.Hash())
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// maxDocumentBytes bounds a scenario document; a legitimate scenario is a
+// few kilobytes, and the parser is fed attacker-controlled bytes when it
+// arrives inside a service request.
+const maxDocumentBytes = 1 << 20
+
+// Parse decodes and validates one JSON scenario document. Unknown fields
+// and trailing garbage are rejected: a typo'd knob silently ignored would
+// run a different experiment than the one written down.
+func Parse(data []byte) (*Scenario, error) {
+	if len(data) > maxDocumentBytes {
+		return nil, fmt.Errorf("scenario: document of %d bytes exceeds limit %d", len(data), maxDocumentBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("scenario: trailing data after JSON document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads and parses the scenario document at path.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Encode renders the scenario as indented JSON, the inverse of Parse up
+// to formatting: Parse(Encode(s)) reproduces s exactly (the golden
+// round-trip pinned by the package tests).
+func (s *Scenario) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,286 @@
+// Package scenario is the declarative, deterministic scenario engine for
+// time-varying path conditions and injected faults: the missing half of
+// the paper's validation story. The 1997-98 Internet paths behind
+// Table I were anything but stationary — loss rate and RTT drifted over
+// every 1-hour trace — while the emulator in internal/netem holds path
+// parameters fixed. A Scenario schedules *changes*: phases that rewrite
+// the steady-state path (loss process, RTT, bottleneck rate, queue
+// limit) at simulated times, and transient faults (outage windows, loss
+// bursts, delay spikes, reordering and duplication windows, optionally
+// periodic) layered on top, in the declarative style of pumba- and
+// netem-like network chaos tools.
+//
+// Scenarios are specified programmatically or as a small JSON document
+// (see Parse). Execution is handled by Bind, which schedules every
+// transition on the simulation engine's event queue: a scenario run is a
+// pure function of (scenario, seed), byte-reproducible across runs and
+// across any worker count, because transitions fire at exact event-time
+// boundaries and every random stream is forked from a deterministic
+// label.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Fault kinds.
+const (
+	// KindOutage drops every packet offered during the window — the
+	// "pull the cable" fault. Windows of an RTT or more escalate loss
+	// indications into retransmission timeouts (Table II's timeout-
+	// dominated mixes).
+	KindOutage = "outage"
+	// KindLossBurst layers an extra independent loss probability
+	// (LossRate) on top of the phase's base loss process.
+	KindLossBurst = "loss_burst"
+	// KindDelaySpike adds ExtraDelay seconds to the data direction's
+	// one-way delay — a route change or a sudden standing queue.
+	KindDelaySpike = "delay_spike"
+	// KindReorder suspends FIFO delivery and adds up to Jitter seconds
+	// of uniform per-packet delay, producing out-of-order arrivals.
+	KindReorder = "reorder"
+	// KindDuplicate duplicates each data packet with probability Prob.
+	KindDuplicate = "duplicate"
+)
+
+// validKinds is the closed set of fault kinds.
+var validKinds = map[string]bool{
+	KindOutage:     true,
+	KindLossBurst:  true,
+	KindDelaySpike: true,
+	KindReorder:    true,
+	KindDuplicate:  true,
+}
+
+// Loss model names accepted in a LossSpec.
+const (
+	// LossBernoulli drops packets i.i.d. (netem.Bernoulli); the default.
+	LossBernoulli = "bernoulli"
+	// LossGE is the two-state bursty Gilbert-Elliott process fitted to
+	// (rate, mean burst length).
+	LossGE = "ge"
+	// LossOutage is the timed-outage process (netem.TimedBurst): each
+	// packet starts a BurstDur-second outage with probability Rate.
+	LossOutage = "timedburst"
+)
+
+// LossSpec describes a steady-state loss process declaratively, so a
+// phase can swap not just the rate but the whole process family.
+type LossSpec struct {
+	// Rate is the headline loss parameter: the drop probability
+	// (bernoulli), aggregate loss rate (ge), or outage-start probability
+	// (timedburst). 0 disables loss.
+	Rate float64 `json:"rate"`
+	// Model selects the process family; empty means bernoulli.
+	Model string `json:"model,omitempty"`
+	// BurstLen is the ge model's mean loss-burst length in packets
+	// (minimum 1).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	// BurstDur is the timedburst model's outage duration in seconds.
+	BurstDur float64 `json:"burst_dur,omitempty"`
+}
+
+// validate reports the first problem with the spec.
+func (ls LossSpec) validate() error {
+	switch {
+	case ls.Rate < 0 || ls.Rate > 1 || math.IsNaN(ls.Rate):
+		return fmt.Errorf("loss rate must be in [0, 1], got %v", ls.Rate)
+	case ls.BurstLen < 0:
+		return fmt.Errorf("loss burst_len must be non-negative packets, got %v", ls.BurstLen)
+	case ls.BurstDur < 0:
+		return fmt.Errorf("loss burst_dur must be non-negative seconds, got %v", ls.BurstDur)
+	}
+	switch ls.Model {
+	case "", LossBernoulli, LossGE, LossOutage:
+		return nil
+	default:
+		return fmt.Errorf("unknown loss model %q (valid: %s, %s, %s)",
+			ls.Model, LossBernoulli, LossGE, LossOutage)
+	}
+}
+
+// Phase is one scheduled rewrite of the steady-state path parameters.
+// Only the non-nil fields change; everything else carries over from the
+// previous phase (or the base path for the first phase). Pointer fields
+// distinguish "set to zero" from "leave alone" — `"rate": 0` explicitly
+// makes the bottleneck infinitely fast, while omitting it keeps the
+// current rate.
+type Phase struct {
+	// At is the simulated time (seconds) the phase begins.
+	At float64 `json:"at"`
+	// Loss, when set, replaces the base loss process.
+	Loss *LossSpec `json:"loss,omitempty"`
+	// RTT, when set, changes the two-way propagation delay (split
+	// evenly across the two directions).
+	RTT *float64 `json:"rtt,omitempty"`
+	// Rate, when set, changes the bottleneck transmission rate in
+	// packets per second (0 = infinitely fast).
+	Rate *float64 `json:"rate,omitempty"`
+	// QueueCap, when set, changes the drop-tail queue capacity.
+	QueueCap *int `json:"queue_cap,omitempty"`
+}
+
+// validate reports the first problem with phase i.
+func (ph Phase) validate(i int) error {
+	if ph.At < 0 || math.IsNaN(ph.At) {
+		return fmt.Errorf("phase %d: at must be non-negative seconds, got %v", i, ph.At)
+	}
+	if ph.Loss == nil && ph.RTT == nil && ph.Rate == nil && ph.QueueCap == nil {
+		return fmt.Errorf("phase %d: changes nothing (set loss, rtt, rate or queue_cap)", i)
+	}
+	if ph.Loss != nil {
+		if err := ph.Loss.validate(); err != nil {
+			return fmt.Errorf("phase %d: %w", i, err)
+		}
+	}
+	if ph.RTT != nil && !(*ph.RTT > 0) {
+		return fmt.Errorf("phase %d: rtt must be positive seconds, got %v", i, *ph.RTT)
+	}
+	if ph.Rate != nil && (*ph.Rate < 0 || math.IsNaN(*ph.Rate)) {
+		return fmt.Errorf("phase %d: rate must be non-negative pkts/s, got %v", i, *ph.Rate)
+	}
+	if ph.QueueCap != nil && *ph.QueueCap < 0 {
+		return fmt.Errorf("phase %d: queue_cap must be non-negative packets, got %d", i, *ph.QueueCap)
+	}
+	return nil
+}
+
+// Fault is one transient perturbation window, optionally repeating.
+type Fault struct {
+	// Kind selects the fault (outage, loss_burst, delay_spike, reorder,
+	// duplicate).
+	Kind string `json:"kind"`
+	// Start is the simulated time (seconds) of the first occurrence.
+	Start float64 `json:"start"`
+	// Dur is each occurrence's length in seconds.
+	Dur float64 `json:"dur"`
+	// LossRate is the extra drop probability of a loss_burst window.
+	LossRate float64 `json:"loss_rate,omitempty"`
+	// ExtraDelay is the added one-way delay of a delay_spike, seconds.
+	ExtraDelay float64 `json:"extra_delay,omitempty"`
+	// Jitter is the reorder window's uniform extra delay bound, seconds.
+	Jitter float64 `json:"jitter,omitempty"`
+	// Prob is the duplicate window's per-packet duplication probability.
+	Prob float64 `json:"prob,omitempty"`
+	// Period, when positive, repeats the fault every Period seconds
+	// (measured start-to-start). Zero means a one-shot fault.
+	Period float64 `json:"period,omitempty"`
+	// Count bounds the number of occurrences of a periodic fault;
+	// 0 means "until the end of the run".
+	Count int `json:"count,omitempty"`
+}
+
+// validate reports the first problem with fault i.
+func (f Fault) validate(i int) error {
+	if !validKinds[f.Kind] {
+		return fmt.Errorf("fault %d: unknown kind %q (valid: %s, %s, %s, %s, %s)",
+			i, f.Kind, KindOutage, KindLossBurst, KindDelaySpike, KindReorder, KindDuplicate)
+	}
+	switch {
+	case f.Start < 0 || math.IsNaN(f.Start):
+		return fmt.Errorf("fault %d: start must be non-negative seconds, got %v", i, f.Start)
+	case !(f.Dur > 0):
+		return fmt.Errorf("fault %d: dur must be positive seconds, got %v", i, f.Dur)
+	case f.Period < 0 || math.IsNaN(f.Period):
+		return fmt.Errorf("fault %d: period must be non-negative seconds, got %v", i, f.Period)
+	case f.Period > 0 && f.Period < f.Dur:
+		return fmt.Errorf("fault %d: period %v shorter than dur %v (occurrences would overlap)", i, f.Period, f.Dur)
+	case f.Count < 0:
+		return fmt.Errorf("fault %d: count must be non-negative, got %d", i, f.Count)
+	case f.Count > 0 && f.Period == 0:
+		return fmt.Errorf("fault %d: count %d needs a positive period", i, f.Count)
+	}
+	switch f.Kind {
+	case KindLossBurst:
+		if f.LossRate <= 0 || f.LossRate > 1 || math.IsNaN(f.LossRate) {
+			return fmt.Errorf("fault %d: loss_burst needs loss_rate in (0, 1], got %v", i, f.LossRate)
+		}
+	case KindDelaySpike:
+		if !(f.ExtraDelay > 0) {
+			return fmt.Errorf("fault %d: delay_spike needs positive extra_delay, got %v", i, f.ExtraDelay)
+		}
+	case KindReorder:
+		if !(f.Jitter > 0) {
+			return fmt.Errorf("fault %d: reorder needs positive jitter, got %v", i, f.Jitter)
+		}
+	case KindDuplicate:
+		if f.Prob <= 0 || f.Prob > 1 || math.IsNaN(f.Prob) {
+			return fmt.Errorf("fault %d: duplicate needs prob in (0, 1], got %v", i, f.Prob)
+		}
+	}
+	return nil
+}
+
+// Limits on scenario size: scenarios ride inside service requests, so an
+// adversarial document must not be able to schedule unbounded work.
+const (
+	// MaxPhases bounds len(Scenario.Phases).
+	MaxPhases = 1000
+	// MaxFaults bounds len(Scenario.Faults).
+	MaxFaults = 1000
+	// MaxOccurrences bounds the expanded occurrences of one periodic
+	// fault over a run.
+	MaxOccurrences = 10000
+)
+
+// Scenario is a declarative schedule of path changes and faults. The
+// zero value (no phases, no faults) is valid and changes nothing.
+type Scenario struct {
+	// Name labels the scenario in reports and metrics.
+	Name string `json:"name,omitempty"`
+	// Phases are steady-state rewrites, sorted by strictly increasing
+	// At.
+	Phases []Phase `json:"phases,omitempty"`
+	// Faults are transient windows; order is free.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Validate reports the first problem with the scenario, or nil.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Phases) > MaxPhases {
+		return fmt.Errorf("scenario: %d phases exceeds limit %d", len(s.Phases), MaxPhases)
+	}
+	if len(s.Faults) > MaxFaults {
+		return fmt.Errorf("scenario: %d faults exceeds limit %d", len(s.Faults), MaxFaults)
+	}
+	for i, ph := range s.Phases {
+		if err := ph.validate(i); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if i > 0 && !(ph.At > s.Phases[i-1].At) {
+			return fmt.Errorf("scenario: phase %d at %v does not follow phase %d at %v (phases must be strictly increasing)",
+				i, ph.At, i-1, s.Phases[i-1].At)
+		}
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(i); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	return nil
+}
+
+// Hash returns a canonical content hash of the scenario: equal scenarios
+// (field for field) hash identically however they were spelled in JSON.
+// Service caches join it into their request keys so a scenario-bearing
+// simulation never collides with its fixed-path twin.
+func (s *Scenario) Hash() string {
+	if s == nil {
+		return ""
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Scenario is a plain struct of numbers and strings; failure to
+		// encode is a programming error.
+		panic(fmt.Sprintf("scenario: hash: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pftk/internal/core"
+)
+
+// TestSimulateScenarioDistinctCacheKeys pins the cache contract for
+// scenario-bearing requests: the same fixed-path request with and
+// without a scenario block are different canonical requests, and each
+// replays exactly from its own cache entry.
+func TestSimulateScenarioDistinctCacheKeys(t *testing.T) {
+	s, reg := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	plain := `{"loss_rate":0.01,"duration":10,"seed":42}`
+	scen := `{"loss_rate":0.01,"duration":10,"seed":42,` +
+		`"scenario":{"name":"step","phases":[{"at":5,"loss":{"rate":0.2}}]}}`
+
+	submit := func(body string) Job {
+		t.Helper()
+		rec := postJSON(s, "/v1/simulate", body)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit status %d, want 202; body %s", rec.Code, rec.Body)
+		}
+		var job Job
+		if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+			t.Fatal(err)
+		}
+		done := waitForJob(t, s, job.ID)
+		if done.Status != JobDone || done.Result == nil {
+			t.Fatalf("job did not complete: %+v", done)
+		}
+		return done
+	}
+
+	jobPlain := submit(plain)
+	// The scenario-bearing twin must MISS (distinct key) and run.
+	jobScen := submit(scen)
+
+	if jobPlain.Result.Retransmits >= jobScen.Result.Retransmits {
+		t.Errorf("scenario (step to 20%% loss) should retransmit more: plain %d vs scenario %d",
+			jobPlain.Result.Retransmits, jobScen.Result.Retransmits)
+	}
+	if len(jobPlain.Result.Phases) != 0 {
+		t.Errorf("fixed-path result carries phase stats: %+v", jobPlain.Result.Phases)
+	}
+	if len(jobScen.Result.Phases) != 2 {
+		t.Fatalf("scenario result phases = %+v, want base + step", jobScen.Result.Phases)
+	}
+	if jobScen.Result.Phases[1].Start != 5 {
+		t.Errorf("step segment starts at %g, want 5", jobScen.Result.Phases[1].Start)
+	}
+
+	// Both replay exactly from cache.
+	for _, tc := range []struct {
+		body string
+		want Job
+	}{{plain, jobPlain}, {scen, jobScen}} {
+		rec := postJSON(s, "/v1/simulate", tc.body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("resubmit status %d, want 200 (cached); body %s", rec.Code, rec.Body)
+		}
+		var job Job
+		if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.Status != JobDone || !job.Cached {
+			t.Fatalf("resubmit not served from cache: %+v", job)
+		}
+		got, _ := json.Marshal(job.Result)
+		want, _ := json.Marshal(tc.want.Result)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cached result differs:\n%s\nvs\n%s", got, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counter("serve.jobs.completed"); n != 2 {
+		t.Errorf("jobs.completed = %d, want 2 (one per distinct key)", n)
+	}
+	if n := snap.Counter("serve.cache.hits"); n != 2 {
+		t.Errorf("cache.hits = %d, want 2", n)
+	}
+}
+
+// TestSimulateScenarioBadRequests pins request-level scenario
+// validation: schema violations and unknown fields are 400s, not jobs.
+func TestSimulateScenarioBadRequests(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		wantInBody string
+	}{
+		{"empty phase", `{"loss_rate":0.01,"scenario":{"phases":[{"at":1}]}}`, "changes nothing"},
+		{"bad fault kind", `{"loss_rate":0.01,"scenario":{"faults":[{"kind":"fire","start":0,"dur":1}]}}`, "unknown kind"},
+		{"non-increasing phases", `{"loss_rate":0.01,"scenario":{"phases":[{"at":2,"rtt":0.2},{"at":2,"rtt":0.3}]}}`, "strictly increasing"},
+		{"unknown scenario field", `{"loss_rate":0.01,"scenario":{"phazes":[]}}`, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(s, "/v1/simulate", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", rec.Code, rec.Body)
+			}
+			if !strings.Contains(rec.Body.String(), tc.wantInBody) {
+				t.Errorf("body %q missing %q", rec.Body.String(), tc.wantInBody)
+			}
+		})
+	}
+}
+
+// TestPredictUnsetBDefaulting is the regression test for the relocated
+// TD-only b-defaulting: a /v1/predict request that leaves b unset must
+// price the tdonly model at b = 2, identically to an explicit b = 2
+// request — never at b = 0 (which would divide by zero inside the
+// square root).
+func TestPredictUnsetBDefaulting(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	eval := func(body string) float64 {
+		t.Helper()
+		rec := postJSON(s, "/v1/predict", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+		}
+		var resp PredictResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Rates[ModelNameTDOnly]
+	}
+	unset := eval(`{"p":0.02,"rtt":0.2,"t0":2,"models":["tdonly"]}`)
+	explicit := eval(`{"p":0.02,"rtt":0.2,"t0":2,"b":2,"models":["tdonly"]}`)
+	want := core.SendRateTDOnly(0.02, 0.2, 2)
+	if unset != explicit || unset != want {
+		t.Errorf("tdonly with unset b = %g, explicit b=2 = %g, want %g", unset, explicit, want)
+	}
+}

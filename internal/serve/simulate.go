@@ -6,6 +6,7 @@ import (
 
 	"pftk"
 	"pftk/internal/core"
+	"pftk/internal/scenario"
 )
 
 // simVariants is the set of sender flavors the simulator implements.
@@ -42,6 +43,12 @@ type SimulateRequest struct {
 	Variant string `json:"variant,omitempty"`
 	// AckEvery is the receiver's delayed-ACK ratio b; 0 means 2.
 	AckEvery int `json:"ack_every,omitempty"`
+	// Scenario optionally schedules time-varying path conditions and
+	// fault injection over the run (see internal/scenario for the
+	// schema). It participates in the canonical request hash, so a
+	// scenario-bearing simulation never collides with its fixed-path
+	// twin in the cache.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 }
 
 // normalize fills defaults so that equivalent requests share one cache
@@ -94,6 +101,9 @@ func (r SimulateRequest) validate() error {
 	case r.AckEvery < 1:
 		return fmt.Errorf("ack_every must be at least 1, got %d", r.AckEvery)
 	}
+	if err := r.Scenario.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -135,24 +145,30 @@ type SimulateResult struct {
 	// measurements.
 	PredictedFull   float64 `json:"predicted_full,omitempty"`
 	PredictedApprox float64 `json:"predicted_approx,omitempty"`
+
+	// Phases attributes offered/dropped packets to scenario segments;
+	// present only for scenario-bearing requests.
+	Phases []scenario.PhaseStat `json:"phases,omitempty"`
 }
 
 // runSimulation executes a normalized, validated request. It is a pure
 // function of the request — same input, same output — which the result
 // cache relies on.
 func runSimulation(r SimulateRequest) SimulateResult {
-	res := pftk.Simulate(pftk.SimConfig{
-		RTT:      r.RTT,
-		LossRate: r.LossRate,
-		BurstDur: r.BurstDur,
-		Wm:       r.Wm,
-		MinRTO:   r.MinRTO,
-		Duration: r.Duration,
-		Seed:     r.Seed,
-		Variant:  r.Variant,
-		AckEvery: r.AckEvery,
-	})
-	sum := pftk.Analyze(res.Trace, 0)
+	var phases []pftk.PhaseStat
+	res := pftk.Sim(
+		pftk.WithPath(r.RTT),
+		pftk.WithBurstLoss(r.LossRate, r.BurstDur),
+		pftk.WithWindow(r.Wm),
+		pftk.WithMinRTO(r.MinRTO),
+		pftk.WithDuration(r.Duration),
+		pftk.WithSeed(r.Seed),
+		pftk.WithOS(r.Variant),
+		pftk.WithDelayedACKs(r.AckEvery),
+		pftk.WithScenario(r.Scenario),
+		pftk.WithPhaseStats(&phases),
+	)
+	sum := pftk.Analyze(res.Trace)
 	out := SimulateResult{
 		Duration:           res.Duration,
 		PacketsSent:        res.Stats.TotalSent(),
@@ -167,6 +183,7 @@ func runSimulation(r SimulateRequest) SimulateResult {
 		MeasuredP:          sum.P,
 		MeasuredRTT:        sum.MeanRTT,
 		MeasuredT0:         sum.MeanT0,
+		Phases:             phases,
 	}
 	params := core.Params{RTT: sum.MeanRTT, T0: sum.MeanT0, Wm: float64(r.Wm), B: r.AckEvery}
 	if params.Validate() == nil && sum.P > 0 {

@@ -1,0 +1,98 @@
+package pftk
+
+// SimOption configures one simulated transfer; pass options to Sim. The
+// zero configuration is a 100-second saturated Reno transfer over a
+// lossless 0.1 s-RTT path.
+type SimOption func(*SimConfig)
+
+// WithPath sets the path's two-way propagation delay (RTT) in seconds.
+func WithPath(rtt float64) SimOption {
+	return func(c *SimConfig) { c.RTT = rtt }
+}
+
+// WithLoss sets a Bernoulli (i.i.d.) packet loss probability on the data
+// direction.
+func WithLoss(rate float64) SimOption {
+	return func(c *SimConfig) { c.LossRate = rate; c.BurstDur = 0 }
+}
+
+// WithBurstLoss sets a timed-outage loss process: each data packet starts
+// a dur-second outage with probability rate, correlating losses the way
+// the paper's bursty paths did.
+func WithBurstLoss(rate, dur float64) SimOption {
+	return func(c *SimConfig) { c.LossRate = rate; c.BurstDur = dur }
+}
+
+// WithScenario schedules time-varying path conditions and fault
+// injection over the run: phases and faults fire at their scheduled
+// simulated times on the engine's event queue, byte-reproducibly for a
+// fixed seed. The scenario's base state is the path configured by the
+// other options.
+func WithScenario(sc *Scenario) SimOption {
+	return func(c *SimConfig) { c.Scenario = sc }
+}
+
+// WithSeed fixes the run's random streams, making it reproducible.
+func WithSeed(seed uint64) SimOption {
+	return func(c *SimConfig) { c.Seed = seed }
+}
+
+// WithDuration sets the transfer length in simulated seconds.
+func WithDuration(seconds float64) SimOption {
+	return func(c *SimConfig) { c.Duration = seconds }
+}
+
+// WithOS selects the sender's TCP flavor by the paper's Table I naming:
+// "reno" (default), "tahoe", "linux", "irix" or "newreno".
+func WithOS(variant string) SimOption {
+	return func(c *SimConfig) { c.Variant = variant }
+}
+
+// WithWindow sets the receiver's advertised window Wm in packets
+// (default 64).
+func WithWindow(wm int) SimOption {
+	return func(c *SimConfig) { c.Wm = wm }
+}
+
+// WithMinRTO floors the retransmission timeout in seconds, shaping the
+// trace's T0 (default 1 s).
+func WithMinRTO(seconds float64) SimOption {
+	return func(c *SimConfig) { c.MinRTO = seconds }
+}
+
+// WithDelayedACKs sets the receiver's ACK ratio b (default 2, the
+// paper's delayed-ACK assumption; 1 = ACK every packet).
+func WithDelayedACKs(b int) SimOption {
+	return func(c *SimConfig) { c.AckEvery = b }
+}
+
+// WithPhaseStats directs the per-phase attribution of a scenario run
+// (packets offered/dropped/delivered per scenario segment) into dst
+// after the run completes. Without a scenario, dst is left untouched.
+func WithPhaseStats(dst *[]PhaseStat) SimOption {
+	return func(c *SimConfig) { c.phaseStats = dst }
+}
+
+// analyzeConfig collects Analyze's options.
+type analyzeConfig struct {
+	dupThreshold int
+	groundTruth  bool
+}
+
+// AnalyzeOption configures Analyze.
+type AnalyzeOption func(*analyzeConfig)
+
+// WithDupThreshold sets the sender's fast-retransmit duplicate-ACK
+// threshold used when inferring loss events: 3 for standard Reno (the
+// default), 2 for the Linux stacks of the paper's Section III.
+func WithDupThreshold(n int) AnalyzeOption {
+	return func(c *analyzeConfig) { c.dupThreshold = n }
+}
+
+// WithGroundTruth analyzes the simulator's explicit loss-indication
+// records instead of inferring events from wire-level records — the
+// oracle unavailable to the paper's authors but available to a
+// simulation.
+func WithGroundTruth() AnalyzeOption {
+	return func(c *analyzeConfig) { c.groundTruth = true }
+}

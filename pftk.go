@@ -41,6 +41,7 @@ import (
 	"pftk/internal/core"
 	"pftk/internal/netem"
 	"pftk/internal/reno"
+	"pftk/internal/scenario"
 	"pftk/internal/sim"
 	"pftk/internal/trace"
 )
@@ -84,13 +85,11 @@ func SendRate(p float64, pr Params) float64 { return core.SendRateFull(p, pr) }
 func SendRateApprox(p float64, pr Params) float64 { return core.SendRateApprox(p, pr) }
 
 // SendRateTDOnly returns the Mathis et al. square-root baseline of
-// eq. (20), which ignores timeouts and the receiver window.
+// eq. (20), which ignores timeouts and the receiver window. An unset
+// delayed-ACK ratio defaults to DefaultB inside core, identically for
+// every caller.
 func SendRateTDOnly(p float64, pr Params) float64 {
-	b := float64(pr.B)
-	if pr.B < 1 {
-		b = DefaultB
-	}
-	return core.SendRateTDOnly(p, pr.RTT, b)
+	return core.SendRateTDOnly(p, pr.RTT, float64(pr.B))
 }
 
 // Throughput returns the receiver-side rate T(p) of eq. (37).
@@ -131,9 +130,33 @@ type Interval = analysis.Interval
 // SimResult is the outcome of a simulated bulk transfer.
 type SimResult = reno.Result
 
+// Scenario is a declarative schedule of path changes and injected
+// faults; see package internal/scenario for the semantics and
+// ParseScenario for the JSON form.
+type Scenario = scenario.Scenario
+
+// Phase is one scheduled rewrite of the steady-state path parameters.
+type Phase = scenario.Phase
+
+// Fault is one transient perturbation window, optionally repeating.
+type Fault = scenario.Fault
+
+// LossSpec declaratively describes a steady-state loss process.
+type LossSpec = scenario.LossSpec
+
+// PhaseStat attributes packets offered/dropped/delivered on the data
+// path to one scenario segment.
+type PhaseStat = scenario.PhaseStat
+
+// ParseScenario decodes and validates a JSON scenario document.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ParseScenarioFile reads and parses the scenario document at path.
+func ParseScenarioFile(path string) (*Scenario, error) { return scenario.ParseFile(path) }
+
 // SimConfig describes a simulated bulk-transfer experiment at the level a
-// model user thinks in; Simulate maps it onto the packet-level TCP Reno
-// implementation and the path emulator.
+// model user thinks in; Sim and Simulate map it onto the packet-level TCP
+// Reno implementation and the path emulator.
 type SimConfig struct {
 	// RTT is the two-way propagation delay of the path in seconds.
 	RTT float64
@@ -157,6 +180,16 @@ type SimConfig struct {
 	Variant string
 	// AckEvery is the receiver's delayed-ACK ratio b (default 2).
 	AckEvery int
+	// Scenario, when set, schedules time-varying path conditions and
+	// fault injection over the run (see WithScenario).
+	Scenario *Scenario
+
+	// phaseStats, when set via WithPhaseStats, receives the per-phase
+	// attribution after a scenario run.
+	phaseStats *[]PhaseStat
+	// totalPackets, when positive, makes the transfer finite
+	// (SimulateTransfer).
+	totalPackets uint64
 }
 
 func (c SimConfig) variant() reno.Variant {
@@ -174,12 +207,13 @@ func (c SimConfig) variant() reno.Variant {
 	}
 }
 
-// Simulate runs a saturated TCP Reno bulk transfer over an emulated path
-// and returns the measured result, including the sender-side trace.
-func Simulate(c SimConfig) SimResult {
-	if c.Duration <= 0 {
-		c.Duration = 100
-	}
+// buildConn assembles the engine, connection and (when a scenario is
+// configured) the bound scenario runner for one simulated transfer.
+// horizon bounds the expansion of unbounded periodic faults. When no
+// scenario is configured, the construction — including the RNG fork
+// sequence — is identical to the pre-scenario releases, so legacy
+// configs reproduce their traces byte for byte.
+func buildConn(c *SimConfig, horizon float64) (*reno.Connection, *scenario.Runner) {
 	if c.RTT <= 0 {
 		c.RTT = 0.1
 	}
@@ -195,27 +229,93 @@ func Simulate(c SimConfig) SimResult {
 	}
 	cfg := reno.ConnConfig{
 		Sender: reno.SenderConfig{
-			Variant: c.variant(),
-			RWnd:    c.Wm,
-			MinRTO:  c.MinRTO,
+			Variant:      c.variant(),
+			RWnd:         c.Wm,
+			MinRTO:       c.MinRTO,
+			TotalPackets: c.totalPackets,
 		},
 		Receiver: reno.ReceiverConfig{AckEvery: c.AckEvery},
 		Path:     netem.SymmetricPath(c.RTT/2, loss),
 	}
-	return reno.RunConnection(cfg, c.Duration)
+	eng := new(sim.Engine)
+	conn := reno.NewConnection(eng, cfg)
+	var runner *scenario.Runner
+	if c.Scenario != nil {
+		runner = scenario.Bind(eng, conn.Path, scenario.Config{
+			Scenario: c.Scenario,
+			RNG:      rng.Fork("scenario"),
+			Base:     scenario.Base{RTT: c.RTT, Loss: loss},
+			Horizon:  horizon,
+		})
+	}
+	return conn, runner
+}
+
+// Sim runs a saturated TCP bulk transfer over an emulated — optionally
+// time-varying — path and returns the measured result, including the
+// sender-side trace:
+//
+//	res := pftk.Sim(
+//		pftk.WithPath(0.2),
+//		pftk.WithLoss(0.02),
+//		pftk.WithDuration(1000),
+//		pftk.WithSeed(42),
+//	)
+//
+// Defaults: 0.1 s RTT, lossless path, 100 s duration, Reno sender with a
+// 64-packet window, delayed ACKs (b = 2).
+func Sim(opts ...SimOption) SimResult {
+	var c SimConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return runSim(c)
+}
+
+// runSim is the single execution path behind Sim and Simulate.
+func runSim(c SimConfig) SimResult {
+	if c.Duration <= 0 {
+		c.Duration = 100
+	}
+	conn, runner := buildConn(&c, c.Duration)
+	res := conn.Run(c.Duration)
+	if runner != nil && c.phaseStats != nil {
+		*c.phaseStats = runner.Finish()
+	}
+	return res
+}
+
+// Simulate runs a saturated TCP Reno bulk transfer over an emulated path
+// and returns the measured result, including the sender-side trace.
+//
+// Deprecated: use Sim with functional options; Simulate delegates to the
+// same execution path and produces byte-identical traces, but new knobs
+// (scenarios, fault injection) are only exposed as options.
+func Simulate(c SimConfig) SimResult {
+	return runSim(c)
 }
 
 // Analyze runs the paper's trace-analysis programs over a sender-side
-// trace: loss indications are inferred from wire-level records (with the
-// given duplicate-ACK threshold; 0 means the standard 3) and summarized
-// Table II-style.
-func Analyze(tr Trace, dupThreshold int) Summary {
-	return analysis.Summarize(tr, analysis.InferLossEvents(tr, dupThreshold))
-}
-
-// AnalyzeEvents returns the classified loss indications of a trace.
-func AnalyzeEvents(tr Trace, dupThreshold int) []LossEvent {
-	return analysis.InferLossEvents(tr, dupThreshold)
+// trace: loss indications are inferred from wire-level records exactly as
+// the paper's programs had to do from tcpdump output, then summarized
+// Table II-style. The returned Summary embeds the classified loss events,
+// so one call serves both the table row and event-level consumers:
+//
+//	sum := pftk.Analyze(res.Trace)                         // standard Reno (3 dupacks)
+//	sum  = pftk.Analyze(res.Trace, pftk.WithDupThreshold(2)) // Linux-style senders
+//	ivs := pftk.Intervals(res.Trace, sum.Events, 100)
+func Analyze(tr Trace, opts ...AnalyzeOption) Summary {
+	var c analyzeConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	var events []LossEvent
+	if c.groundTruth {
+		events = analysis.GroundTruthLossEvents(tr)
+	} else {
+		events = analysis.InferLossEvents(tr, c.dupThreshold)
+	}
+	return analysis.Summarize(tr, events)
 }
 
 // Intervals splits a trace into width-second intervals with per-interval
@@ -248,26 +348,8 @@ func ShortFlowRate(n int, p float64, pr Params) float64 {
 // simulation config and returns its completion time in seconds (or the
 // deadline if it never completes).
 func SimulateTransfer(c SimConfig, n int, deadline float64) float64 {
-	if c.RTT <= 0 {
-		c.RTT = 0.1
-	}
-	rng := sim.NewRNG(c.Seed)
-	var loss netem.LossModel
-	switch {
-	case c.LossRate <= 0:
-	case c.BurstDur > 0:
-		loss = netem.NewTimedBurst(c.LossRate, c.BurstDur, rng.Fork("loss"))
-	default:
-		loss = netem.NewBernoulli(c.LossRate, rng.Fork("loss"))
-	}
-	cfg := reno.ConnConfig{
-		Sender: reno.SenderConfig{
-			Variant: c.variant(),
-			RWnd:    c.Wm,
-			MinRTO:  c.MinRTO,
-		},
-		Receiver: reno.ReceiverConfig{AckEvery: c.AckEvery},
-		Path:     netem.SymmetricPath(c.RTT/2, loss),
-	}
-	return reno.TransferTime(cfg, uint64(n), deadline)
+	c.totalPackets = uint64(n)
+	conn, _ := buildConn(&c, deadline)
+	_, done := conn.RunUntilComplete(deadline)
+	return done
 }

@@ -70,7 +70,7 @@ func TestSimulateLossless(t *testing.T) {
 
 func TestSimulateMatchesModel(t *testing.T) {
 	res := Simulate(SimConfig{RTT: 0.1, LossRate: 0.02, Wm: 64, Duration: 2000, Seed: 7, MinRTO: 1})
-	sum := Analyze(res.Trace, 3)
+	sum := Analyze(res.Trace)
 	if sum.LossIndications == 0 {
 		t.Fatal("no loss indications")
 	}
@@ -98,7 +98,7 @@ func TestSimulateVariants(t *testing.T) {
 
 func TestSimulateBurstLoss(t *testing.T) {
 	res := Simulate(SimConfig{RTT: 0.1, LossRate: 0.01, BurstDur: 0.2, Wm: 16, Duration: 600, Seed: 5, MinRTO: 1})
-	sum := Analyze(res.Trace, 3)
+	sum := Analyze(res.Trace)
 	if sum.TimeoutSequences() == 0 {
 		t.Error("burst losses should produce timeout sequences")
 	}
@@ -106,11 +106,11 @@ func TestSimulateBurstLoss(t *testing.T) {
 
 func TestAnalyzeEventsAndIntervals(t *testing.T) {
 	res := Simulate(SimConfig{RTT: 0.1, LossRate: 0.03, Wm: 16, Duration: 600, Seed: 9, MinRTO: 1})
-	events := AnalyzeEvents(res.Trace, 3)
-	if len(events) == 0 {
+	sum := Analyze(res.Trace)
+	if len(sum.Events) == 0 {
 		t.Fatal("no events")
 	}
-	ivs := Intervals(res.Trace, events, 100)
+	ivs := Intervals(res.Trace, sum.Events, 100)
 	if len(ivs) != 6 {
 		t.Errorf("intervals = %d, want 6", len(ivs))
 	}
