@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
+.PHONY: all build test test-short race cover bench bench-json bench-json-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -23,6 +23,27 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Tracked benchmark baseline: run the allocation-sensitive benchmark
+# suite at a FIXED iteration count (BenchmarkSimulatedSecond's cost per
+# op depends on b.N, so auto-calibrated benchtime is not comparable
+# across runs) and fold the per-metric medians into BENCH_sim.json under
+# the "current" label. The committed "pre" label is the seed baseline
+# this PR was measured against — do not overwrite it.
+BENCH_JSON_PATTERN = BenchmarkSimulatedSecond$$|BenchmarkSimStepObsDisabled$$|BenchmarkLinkSend$$|BenchmarkTimerReset$$|BenchmarkTraceAppend$$
+BENCH_JSON_REQUIRE = BenchmarkSimulatedSecond,BenchmarkSimStepObsDisabled,BenchmarkLinkSend,BenchmarkTimerReset,BenchmarkTraceAppend
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+		-benchtime 100000x -count 5 ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -label current
+
+# CI smoke: a 10-iteration pass proves the benchmark suite still runs,
+# still reports allocations, and still parses into the baseline schema.
+bench-json-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+		-benchtime 10x ./... \
+		| $(GO) run ./cmd/benchjson -check -require '$(BENCH_JSON_REQUIRE)'
 
 # Short fuzzing passes over every fuzz target.
 fuzz:

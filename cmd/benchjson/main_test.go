@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: pftk
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatedSecond 	  100000	     30000 ns/op	        36.92 pkts/simsec	   20326 B/op	     236 allocs/op
+BenchmarkSimulatedSecond 	  100000	     10000 ns/op	        36.92 pkts/simsec	   20326 B/op	     236 allocs/op
+BenchmarkSimulatedSecond 	  100000	     20000 ns/op	        36.92 pkts/simsec	   20326 B/op	     236 allocs/op
+BenchmarkTimerReset-8    	 5000000	       120 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pftk	24.041s
+ok  	pftk/internal/obs	0.004s [no tests to run]
+`
+
+func TestParseAndReduce(t *testing.T) {
+	raw, env, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.goos != "linux" || env.goarch != "amd64" || !strings.Contains(env.cpu, "Xeon") {
+		t.Errorf("env = %+v", env)
+	}
+	results := reduce(raw)
+	sec, ok := results["BenchmarkSimulatedSecond"]
+	if !ok {
+		t.Fatalf("BenchmarkSimulatedSecond missing: %v", results)
+	}
+	if sec.Runs != 3 {
+		t.Errorf("runs = %d, want 3", sec.Runs)
+	}
+	if sec.NsPerOp != 20000 { // median of 30000, 10000, 20000
+		t.Errorf("ns/op median = %g, want 20000", sec.NsPerOp)
+	}
+	if sec.BytesPerOp != 20326 || sec.AllocsPerOp != 236 {
+		t.Errorf("B/op = %g allocs/op = %g", sec.BytesPerOp, sec.AllocsPerOp)
+	}
+	if sec.Extra["pkts/simsec"] != 36.92 {
+		t.Errorf("extra = %v", sec.Extra)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	tr, ok := results["BenchmarkTimerReset"]
+	if !ok {
+		t.Fatalf("BenchmarkTimerReset missing: %v", results)
+	}
+	if tr.NsPerOp != 120 || tr.AllocsPerOp != 0 {
+		t.Errorf("timer reset = %+v", tr)
+	}
+}
+
+func TestMedianEvenCountIsObservedValue(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2 {
+		t.Errorf("median = %g, want lower-middle 2", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median(nil) = %g, want 0", m)
+	}
+}
+
+func TestRunMergesLabelsIntoFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	var out strings.Builder
+	if err := run([]string{"-o", path, "-label", "pre", "-note", "seed"},
+		strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", path, "-label", "post"},
+		strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(f.Baselines) != 2 {
+		t.Fatalf("baselines = %v", f.Baselines)
+	}
+	if f.Baselines["pre"].Note != "seed" {
+		t.Errorf("pre note = %q", f.Baselines["pre"].Note)
+	}
+	if f.GOOS != "linux" {
+		t.Errorf("goos = %q", f.GOOS)
+	}
+	if f.Baselines["post"].Benchmarks["BenchmarkSimulatedSecond"].NsPerOp != 20000 {
+		t.Error("post baseline lost the benchmark medians")
+	}
+}
+
+func TestRunRelabelReplacesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	var out strings.Builder
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-o", path, "-label", "current"},
+			strings.NewReader(sampleBench), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Baselines) != 1 {
+		t.Errorf("re-recording a label duplicated baselines: %v", f.Baselines)
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-check", "-require", "BenchmarkSimulatedSecond,BenchmarkTimerReset"},
+		strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatalf("check should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok BenchmarkSimulatedSecond") {
+		t.Errorf("check output = %q", out.String())
+	}
+	err = run([]string{"-check", "-require", "BenchmarkMissing"},
+		strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMissing") {
+		t.Errorf("check with missing benchmark: err = %v", err)
+	}
+}
+
+func TestEmptyInputIsAnError(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("PASS\nok pftk 0.1s\n"), &out); err == nil {
+		t.Error("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestCorruptBaselineFileIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-o", path}, strings.NewReader(sampleBench), &out); err == nil {
+		t.Error("expected an error merging into a corrupt baseline file")
+	}
+}

@@ -35,7 +35,7 @@ func main() {
 
 // run executes the requested experiments against args, writing reports to
 // stdout and progress/diagnostics to stderr.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		metrics  = fs.String("metrics", "", "write one JSONL metric record per simulated trace to this file")
 		progress = fs.Bool("progress", false, "report live campaign progress with an ETA on stderr")
 		debug    = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0) while running")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = fs.String("memprofile", "", "write a heap (allocs) profile to this file after the campaign")
 		check    = fs.String("checkobs", "", "validate manifest.json and metrics JSONL in this directory, then exit")
 		version  = fs.Bool("version", false, "print the build version and exit")
 	)
@@ -86,6 +88,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		_, _ = fmt.Fprintf(stderr, "debug server on http://%s/debug/\n", addr)
 	}
+
+	stopProf, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opts := experiments.Options{
 		HourTraceDuration:  *hour,

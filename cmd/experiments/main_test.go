@@ -229,3 +229,25 @@ func TestParallelFlagMatchesSerial(t *testing.T) {
 		t.Errorf("-j 1 and -j 4 reports differ:\n%s\nvs\n%s", serial.String(), parallel.String())
 	}
 }
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files covering the campaign.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run([]string{"-run", "fig12", "-cpuprofile", cpu, "-memprofile", mem}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

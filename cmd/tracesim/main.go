@@ -28,7 +28,7 @@ func main() {
 }
 
 // run executes the tool against args, writing human output to stdout.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("tracesim", flag.ContinueOnError)
 	var (
 		rtt     = fs.Float64("rtt", 0.2, "path round trip time in seconds")
@@ -43,6 +43,8 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("o", "", "output trace file (default stdout summary only)")
 		format  = fs.String("format", "binary", "trace format: binary, jsonl or tcpdump")
 		debug   = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0) while running")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = fs.String("memprofile", "", "write a heap (allocs) profile to this file after the run")
 		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +76,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 		_, _ = fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/\n", addr)
 	}
+
+	stopProf, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var sc *pftk.Scenario
 	if *scnFile != "" {

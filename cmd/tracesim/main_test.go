@@ -185,3 +185,27 @@ func TestScenarioFlagRejectsBadFile(t *testing.T) {
 		t.Error("missing scenario file accepted")
 	}
 }
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files covering the simulation.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-dur", "60", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	if err := run([]string{"-dur", "5", "-cpuprofile", filepath.Join(dir, "no", "cpu")}, &out); err == nil {
+		t.Error("uncreatable -cpuprofile path accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the CPU and/or heap profiling requested by a
+// tool's -cpuprofile/-memprofile flags (empty path = disabled) and
+// returns a stop function to run after the workload. Stop ends the CPU
+// profile and writes the heap profile — after a GC, so it reflects live
+// steady-state memory, not transient garbage. Each path is created
+// eagerly, so a bad path fails the run before the workload instead of
+// after it.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF, memF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			_ = cpuF.Close()
+		}
+		if memF != nil {
+			_ = memF.Close()
+		}
+	}
+	if memPath != "" {
+		if memF, err = os.Create(memPath); err != nil {
+			return nil, err
+		}
+	}
+	if cpuPath != "" {
+		if cpuF, err = os.Create(cpuPath); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() (err error) {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			err = cpuF.Close()
+			cpuF = nil
+		}
+		if memF != nil {
+			runtime.GC()
+			if werr := pprof.Lookup("allocs").WriteTo(memF, 0); werr != nil && err == nil {
+				err = fmt.Errorf("write heap profile: %w", werr)
+			}
+			if cerr := memF.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			memF = nil
+		}
+		return err
+	}, nil
+}

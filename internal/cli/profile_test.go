@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	s := 0
+	for i := 0; i < 1e6; i++ {
+		s += i
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop with no profiles: %v", err)
+	}
+}
+
+func TestStartProfilesBadPathFailsEagerly(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Error("expected an error for an uncreatable CPU profile path")
+	}
+	if _, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem")); err == nil {
+		t.Error("expected an error for an uncreatable heap profile path")
+	}
+}

@@ -133,6 +133,51 @@ type Builder struct{}
 func (Builder) NewThing(a, b, c, d, e, f float64) *Thing { return nil } // allowed: method
 `,
 
+	"hotbad/hotbad.go": `package hotbad
+
+type S struct {
+	buf []int
+	cb  func()
+}
+
+var global int
+
+//pftk:hotpath
+func (s *S) Push(v int) {
+	s.buf = append(s.buf, v) // want hotalloc (builtin append)
+}
+
+//pftk:hotpath
+func (s *S) Arm(v int) {
+	s.cb = func() { s.Push(v) } // want hotalloc (captures s or v)
+}
+
+//pftk:hotpath
+func Static() {
+	f := func() { global++ } // allowed: only a package-level var, funcval stays static
+	f()
+}
+
+//pftk:hotpath
+func (s *S) Guarded(v int) {
+	//pftklint:ignore hotalloc fixture: growth is amortized
+	s.buf = append(s.buf, v)
+}
+
+func cold(s *S, v int) {
+	s.buf = append(s.buf, v) // allowed: no hotpath directive
+	s.cb = func() { _ = v }  // allowed: no hotpath directive
+}
+
+// Append is a method, not the builtin: calling it on a hot path is fine.
+func (s *S) Append(v int) { s.buf = append(s.buf, v) }
+
+//pftk:hotpath
+func method(s *S, v int) {
+	s.Append(v) // allowed: method named append is not the builtin
+}
+`,
+
 	"ignored/ignored.go": `package ignored
 
 func sameLine(a, b float64) bool {
@@ -286,6 +331,19 @@ func TestCtorParamsFixture(t *testing.T) {
 		{7, "NewThing takes 6 positional parameters"},
 		{9, "NewSplit takes 6 positional parameters"},
 		{15, "New takes 6 positional parameters"},
+	})
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["hotbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{HotAllocAnalyzer})
+	// Line numbers in hotbad.go: the Push append on 12, the capturing
+	// literal in Arm on 17. The guarded append (ignore directive), the
+	// static literal, the cold function and the append-named method must
+	// all stay silent.
+	checkDiags(t, got, []expectation{
+		{12, "append may grow its backing array"},
+		{17, "function literal captures"},
 	})
 }
 

@@ -14,6 +14,9 @@
 //   - mutexcopy: sync.Mutex-bearing values passed or copied by value.
 //   - ctorparams: exported New* constructors taking more than 5
 //     positional parameters (use a config struct or functional options).
+//   - hotalloc: capturing closures and append calls inside functions
+//     marked //pftk:hotpath — the advisory allocation gate backing the
+//     zero-allocation event core.
 //
 // A diagnostic can be suppressed at a specific site with a directive
 // comment on, or on the line before, the offending line:
@@ -51,6 +54,7 @@ var Analyzers = []*Analyzer{
 	PanicStyleAnalyzer,
 	MutexCopyAnalyzer,
 	CtorParamsAnalyzer,
+	HotAllocAnalyzer,
 }
 
 // ByName returns the named analyzer, or nil.

@@ -104,9 +104,16 @@ type Link struct {
 	eng     *sim.Engine
 	cfg     LinkConfig
 	busy    bool
-	queue   []queued
+	queue   ring
 	stats   LinkStats
 	lastOut float64 // latest scheduled delivery time, for FIFO clamping
+
+	// In-service packet and the pre-built completion callback, so serving
+	// a packet schedules a stored func instead of allocating a closure
+	// per transmission.
+	txPayload any
+	txDeliver func(any)
+	txDone    func()
 
 	// Fault-injection state, mutable at runtime (see the Set* methods).
 	dupP    float64  // per-packet duplication probability; 0 disables
@@ -119,25 +126,89 @@ type queued struct {
 	deliver func(any)
 }
 
+// ring is a growable circular buffer of queued packets. Pre-sized to the
+// link's QueueCap, it recycles its slots so the steady-state FIFO path
+// never allocates; growth (capacity raised at runtime) is amortized
+// doubling.
+type ring struct {
+	buf  []queued
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// push appends one packet at the tail.
+func (r *ring) push(q queued) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = q
+	r.n++
+}
+
+// pop removes and returns the oldest packet, clearing the vacated slot so
+// the ring never pins delivered payloads.
+func (r *ring) pop() queued {
+	q := r.buf[r.head]
+	r.buf[r.head] = queued{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return q
+}
+
+// grow doubles the ring's capacity, linearizing the live elements.
+func (r *ring) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < 4 {
+		newCap = 4
+	}
+	buf := make([]queued, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// presize allocates capacity for n packets up front (bounded, so an
+// absurd QueueCap cannot balloon memory before any packet queues).
+func (r *ring) presize(n int) {
+	const maxPresize = 4096
+	if n > maxPresize {
+		n = maxPresize
+	}
+	if n > 0 {
+		r.buf = make([]queued, n)
+	}
+}
+
 // NewLink creates a link driven by eng.
 func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if eng == nil {
 		panic("netem: nil engine")
 	}
-	return &Link{eng: eng, cfg: cfg}
+	l := &Link{eng: eng, cfg: cfg}
+	l.queue.presize(cfg.QueueCap)
+	l.txDone = l.onTxDone
+	return l
 }
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
 // QueueLen returns the number of packets waiting (not in service).
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.queue.n }
 
 // Send offers one packet to the link. deliver is invoked with payload at
 // the receiver once the packet survives loss, queueing and propagation;
 // dropped packets simply never arrive, exactly like the real network.
 // During a duplication window an extra copy of the packet may be admitted
 // behind the original, riding the same queue.
+//
+// Send allocates nothing: queueing recycles ring slots, transmission and
+// propagation schedule stored callbacks (no per-packet closures), and the
+// event arena underneath is pooled — pinned by TestLinkSendZeroAlloc.
+//
+//pftk:hotpath
 func (l *Link) Send(payload any, deliver func(any)) {
 	if deliver == nil {
 		panic("netem: nil deliver callback")
@@ -159,18 +230,20 @@ func (l *Link) Send(payload any, deliver func(any)) {
 
 // admit routes one surviving packet into the rate server (or straight to
 // propagation on an infinitely fast link).
+//
+//pftk:hotpath
 func (l *Link) admit(payload any, deliver func(any)) {
 	if l.busy {
-		if len(l.queue) >= l.cfg.QueueCap {
+		if l.queue.n >= l.cfg.QueueCap {
 			l.stats.QueueDrops++
 			l.cfg.Metrics.FIFODrops.Inc()
 			return
 		}
-		l.queue = append(l.queue, queued{payload, deliver})
-		if len(l.queue) > l.stats.MaxQueue {
-			l.stats.MaxQueue = len(l.queue)
+		l.queue.push(queued{payload, deliver})
+		if l.queue.n > l.stats.MaxQueue {
+			l.stats.MaxQueue = l.queue.n
 		}
-		l.cfg.Metrics.Queue.Set(float64(len(l.queue)))
+		l.cfg.Metrics.Queue.Set(float64(l.queue.n))
 		return
 	}
 	if l.cfg.Rate <= 0 {
@@ -182,14 +255,14 @@ func (l *Link) admit(payload any, deliver func(any)) {
 
 // serve puts a packet into transmission. If the link rate was switched to
 // infinite while packets were queued, the backlog drains immediately.
+//
+//pftk:hotpath
 func (l *Link) serve(payload any, deliver func(any)) {
 	if l.cfg.Rate <= 0 {
 		l.busy = false
 		l.propagate(payload, deliver)
-		for len(l.queue) > 0 {
-			next := l.queue[0]
-			copy(l.queue, l.queue[1:])
-			l.queue = l.queue[:len(l.queue)-1]
+		for l.queue.n > 0 {
+			next := l.queue.pop()
 			l.propagate(next.payload, next.deliver)
 		}
 		l.cfg.Metrics.Queue.Set(0)
@@ -197,20 +270,27 @@ func (l *Link) serve(payload any, deliver func(any)) {
 	}
 	l.busy = true
 	l.stats.lastBusyFrom = l.eng.Now()
-	txTime := 1 / l.cfg.Rate
-	l.eng.After(txTime, func() {
-		l.stats.BusySeconds += l.eng.Now() - l.stats.lastBusyFrom
-		l.propagate(payload, deliver)
-		if len(l.queue) > 0 {
-			next := l.queue[0]
-			copy(l.queue, l.queue[1:])
-			l.queue = l.queue[:len(l.queue)-1]
-			l.cfg.Metrics.Queue.Set(float64(len(l.queue)))
-			l.serve(next.payload, next.deliver)
-		} else {
-			l.busy = false
-		}
-	})
+	l.txPayload, l.txDeliver = payload, deliver
+	l.eng.After(1/l.cfg.Rate, l.txDone)
+}
+
+// onTxDone completes the in-service packet's transmission: hand it to
+// propagation and pull the next packet, if any, into service. Stored as
+// l.txDone at construction so serve never allocates a closure.
+//
+//pftk:hotpath
+func (l *Link) onTxDone() {
+	l.stats.BusySeconds += l.eng.Now() - l.stats.lastBusyFrom
+	payload, deliver := l.txPayload, l.txDeliver
+	l.txPayload, l.txDeliver = nil, nil
+	l.propagate(payload, deliver)
+	if l.queue.n > 0 {
+		next := l.queue.pop()
+		l.cfg.Metrics.Queue.Set(float64(l.queue.n))
+		l.serve(next.payload, next.deliver)
+	} else {
+		l.busy = false
+	}
 }
 
 // propagate schedules final delivery after the propagation delay,
@@ -218,6 +298,8 @@ func (l *Link) serve(payload any, deliver func(any)) {
 // reordering window the clamp is suspended: a short-delay packet may
 // overtake its predecessors, which is exactly the pathology the fault
 // injects.
+//
+//pftk:hotpath
 func (l *Link) propagate(payload any, deliver func(any)) {
 	d := 0.0
 	if l.cfg.Delay != nil {
@@ -235,7 +317,7 @@ func (l *Link) propagate(payload any, deliver func(any)) {
 	}
 	l.stats.Delivered++
 	l.cfg.Metrics.Delivered.Inc()
-	l.eng.Schedule(at, func() { deliver(payload) })
+	l.eng.ScheduleArg(at, deliver, payload)
 }
 
 // SetLoss replaces the link's loss model; nil disables loss. Effective

@@ -52,10 +52,12 @@ type Receiver struct {
 	reverse  *netem.Link
 	toSender func(any)
 
-	rcvNext  uint64 // next in-order packet expected
-	buffer   map[uint64]bool
-	pending  int // in-order packets not yet acknowledged
-	delTimer *sim.Event
+	rcvNext uint64 // next in-order packet expected
+	buffer  map[uint64]bool
+	pending int // in-order packets not yet acknowledged
+	// delTimer is a reusable delayed-ACK heartbeat; rearming allocates
+	// nothing (the callback is captured once in NewReceiver).
+	delTimer *sim.Timer
 
 	received   int // total packets observed, including duplicates
 	duplicates int // packets at or below rcvNext seen again
@@ -65,7 +67,7 @@ type Receiver struct {
 // NewReceiver builds a receiver that sends its ACKs over reverse and
 // delivers them to the sender via toSender.
 func NewReceiver(eng *sim.Engine, reverse *netem.Link, toSender func(any), cfg ReceiverConfig) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		cfg:      cfg.normalize(),
 		eng:      eng,
 		reverse:  reverse,
@@ -73,6 +75,12 @@ func NewReceiver(eng *sim.Engine, reverse *netem.Link, toSender func(any), cfg R
 		rcvNext:  1,
 		buffer:   make(map[uint64]bool),
 	}
+	r.delTimer = eng.NewTimer(func() {
+		if r.pending > 0 {
+			r.sendAck()
+		}
+	})
+	return r
 }
 
 // Delivered returns the number of distinct packets delivered in order —
@@ -100,7 +108,7 @@ func (r *Receiver) OnPacket(payload any) {
 	switch {
 	case pkt.Seq == r.rcvNext:
 		r.rcvNext++
-		for r.buffer[r.rcvNext] {
+		for len(r.buffer) > 0 && r.buffer[r.rcvNext] {
 			delete(r.buffer, r.rcvNext)
 			r.rcvNext++
 		}
@@ -110,13 +118,8 @@ func (r *Receiver) OnPacket(payload any) {
 			// arrival fills a hole (fast-retransmit recovery wants
 			// prompt cumulative ACKs).
 			r.sendAck()
-		} else if r.cfg.DelAckTimeout > 0 && r.delTimer == nil {
-			r.delTimer = r.eng.After(r.cfg.DelAckTimeout, func() {
-				r.delTimer = nil
-				if r.pending > 0 {
-					r.sendAck()
-				}
-			})
+		} else if r.cfg.DelAckTimeout > 0 && !r.delTimer.Pending() {
+			r.delTimer.Reset(r.cfg.DelAckTimeout)
 		}
 	case pkt.Seq > r.rcvNext:
 		// Out of order: buffer and emit an immediate duplicate ACK.
@@ -135,10 +138,7 @@ func (r *Receiver) OnPacket(payload any) {
 
 // sendAck emits the current cumulative acknowledgment.
 func (r *Receiver) sendAck() {
-	if r.delTimer != nil {
-		r.eng.Cancel(r.delTimer)
-		r.delTimer = nil
-	}
+	r.delTimer.Stop()
 	r.pending = 0
 	r.acksSent++
 	r.reverse.Send(AckPacket{Ack: r.rcvNext}, r.toSender)

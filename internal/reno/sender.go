@@ -113,7 +113,9 @@ type Sender struct {
 	recover    uint64 // highest seq outstanding when recovery began
 	backoffExp int
 
-	rtoTimer *sim.Event
+	// rtoTimer is a reusable handle rearmed on every ACK; rearming
+	// allocates nothing (the callback is captured once in NewSender).
+	rtoTimer *sim.Timer
 
 	// RTT timing (one timed segment at a time, per BSD; Karn's rule
 	// invalidates the measurement if the timed segment is
@@ -125,7 +127,7 @@ type Sender struct {
 	timing      bool
 
 	stats  SenderStats
-	trace  trace.Trace
+	trace  *trace.Buffer
 	closed bool
 }
 
@@ -144,7 +146,9 @@ func NewSender(eng *sim.Engine, forward DataPath, cfg SenderConfig) *Sender {
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.InitialSsthresh,
 		est:      NewRTOEstimator(cfg.MinRTO, cfg.MaxRTO, cfg.Tick),
+		trace:    trace.NewBuffer(1024),
 	}
+	s.rtoTimer = eng.NewTimer(s.onTimeout)
 	return s
 }
 
@@ -159,9 +163,7 @@ func (s *Sender) Start() { s.trySend() }
 // Stop freezes the sender: no further transmissions or timer restarts.
 func (s *Sender) Stop() {
 	s.closed = true
-	if s.rtoTimer != nil {
-		s.eng.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
+	if s.rtoTimer.Stop() {
 		s.cfg.Metrics.TimerCancels.Inc()
 	}
 }
@@ -171,7 +173,7 @@ func (s *Sender) Stats() SenderStats { return s.stats }
 
 // Trace returns the accumulated trace records. The slice is owned by the
 // sender; copy before mutating.
-func (s *Sender) Trace() trace.Trace { return s.trace }
+func (s *Sender) Trace() trace.Trace { return s.trace.Records() }
 
 // Cwnd returns the current congestion window in packets.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
@@ -190,9 +192,10 @@ func (s *Sender) Estimator() *RTOEstimator { return s.est }
 // BaseRTO returns the current first-timeout duration — the live T0.
 func (s *Sender) BaseRTO() float64 { return s.est.RTO() }
 
+//pftk:hotpath
 func (s *Sender) log(r trace.Record) {
 	r.Time = s.eng.Now()
-	s.trace = append(s.trace, r)
+	s.trace.Append(r)
 }
 
 // sendWindow returns the current usable window in whole packets.
@@ -246,7 +249,7 @@ func (s *Sender) sendNew(seq uint64) {
 		s.timedValid = true
 	}
 	s.forward.Send(Packet{Seq: seq}, s.toRecv)
-	if s.rtoTimer == nil {
+	if !s.rtoTimer.Pending() {
 		s.restartRTO()
 	}
 }
@@ -261,7 +264,7 @@ func (s *Sender) resend(seq uint64) {
 		s.timedValid = false
 	}
 	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
-	if s.rtoTimer == nil {
+	if !s.rtoTimer.Pending() {
 		s.restartRTO()
 	}
 }
@@ -285,31 +288,31 @@ func (s *Sender) retransmit(seq uint64, timeout bool) {
 	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
 }
 
-// effectiveRTO applies exponential backoff with the variant's cap.
+// effectiveRTO applies exponential backoff with the variant's cap. The
+// factor is built by bit shift — exactly math.Pow(2, exp) for the small
+// integer exponents backoff uses, without the transcendental call on the
+// per-ACK timer-rearm path.
 func (s *Sender) effectiveRTO() float64 {
 	exp := s.backoffExp
 	if max := s.cfg.Variant.MaxBackoffExp; exp > max {
 		exp = max
 	}
-	return s.est.RTO() * math.Pow(2, float64(exp))
+	return s.est.RTO() * float64(uint64(1)<<uint(exp))
 }
 
 func (s *Sender) restartRTO() {
-	if s.rtoTimer != nil {
-		s.eng.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
+	if s.rtoTimer.Stop() {
 		s.cfg.Metrics.TimerCancels.Inc()
 	}
 	if s.closed || s.InFlight() == 0 {
 		return
 	}
-	s.rtoTimer = s.eng.After(s.effectiveRTO(), s.onTimeout)
+	s.rtoTimer.Reset(s.effectiveRTO())
 }
 
 // onTimeout handles RTO expiry: collapse the window, back the timer off,
 // and retransmit the oldest outstanding packet.
 func (s *Sender) onTimeout() {
-	s.rtoTimer = nil
 	if s.closed || s.InFlight() == 0 {
 		return
 	}

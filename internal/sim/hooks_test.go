@@ -31,7 +31,7 @@ func hookCounts(e *Engine) (fired, scheduled, cancelled *int, depthHigh *int) {
 func TestHooksObserveScheduleFireCancel(t *testing.T) {
 	var e Engine
 	fired, scheduled, cancelled, depth := hookCounts(&e)
-	evs := make([]*Event, 5)
+	evs := make([]Event, 5)
 	for i := range evs {
 		evs[i] = e.Schedule(float64(i+1), func() {})
 	}

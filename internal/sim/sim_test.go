@@ -64,25 +64,32 @@ func TestCancel(t *testing.T) {
 	var e Engine
 	fired := false
 	ev := e.Schedule(1, func() { fired = true })
-	e.Cancel(ev)
+	if !e.Cancel(ev) {
+		t.Error("Cancel of a pending event should report true")
+	}
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() should report true")
+	if e.Scheduled(ev) {
+		t.Error("Scheduled must report false after Cancel")
 	}
-	// double cancel and nil cancel are no-ops
-	e.Cancel(ev)
-	e.Cancel(nil)
+	// double cancel and zero-handle cancel are no-ops
+	if e.Cancel(ev) {
+		t.Error("double Cancel should report false")
+	}
+	if e.Cancel(Event{}) {
+		t.Error("Cancel of the zero Event should report false")
+	}
 }
 
 func TestCancelAfterFireIsNoop(t *testing.T) {
 	var e Engine
-	var ev *Event
-	ev = e.Schedule(1, func() {})
+	ev := e.Schedule(1, func() {})
 	e.Run()
-	e.Cancel(ev) // must not panic or disturb the queue
+	if e.Cancel(ev) { // must not panic or disturb the queue
+		t.Error("Cancel after fire should report false")
+	}
 	if e.Pending() != 0 {
 		t.Error("queue should be empty")
 	}
@@ -91,7 +98,7 @@ func TestCancelAfterFireIsNoop(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var e Engine
 	var order []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(float64(i), func() { order = append(order, i) })

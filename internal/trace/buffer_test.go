@@ -1,0 +1,72 @@
+package trace
+
+import "testing"
+
+func TestBufferAppendAndRecords(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Append(Record{Time: float64(i), Kind: KindSend, Seq: uint64(i)})
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	recs := b.Records()
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, i)
+		}
+	}
+	if !recs.Sorted() {
+		t.Error("records out of time order")
+	}
+}
+
+func TestBufferZeroCapacityUsable(t *testing.T) {
+	b := NewBuffer(0)
+	b.Append(Record{Kind: KindAck, Ack: 7})
+	if b.Len() != 1 || b.Records()[0].Ack != 7 {
+		t.Errorf("records = %v", b.Records())
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(8)
+	for i := 0; i < 20; i++ {
+		b.Append(Record{Time: float64(i), Kind: KindSend})
+	}
+	c := cap(b.recs)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", b.Len())
+	}
+	if cap(b.recs) != c {
+		t.Errorf("Reset dropped capacity: %d -> %d", c, cap(b.recs))
+	}
+}
+
+// TestBufferAppendSteadyStateZeroAlloc: once grown past the working size,
+// Append never reallocates — the property that keeps trace capture off
+// the simulator's allocation budget between growth steps.
+func TestBufferAppendSteadyStateZeroAlloc(t *testing.T) {
+	b := NewBuffer(4096)
+	allocs := testing.AllocsPerRun(500, func() {
+		if b.Len() == 4096 {
+			b.Reset()
+		}
+		b.Append(Record{Time: 1, Kind: KindSend, Seq: 1})
+	})
+	if allocs != 0 {
+		t.Errorf("Append within capacity allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceAppend measures the amortized per-record capture cost,
+// growth steps included.
+func BenchmarkTraceAppend(b *testing.B) {
+	buf := NewBuffer(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Append(Record{Time: float64(i), Kind: KindSend, Seq: uint64(i)})
+	}
+}
