@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-json-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
+.PHONY: all build test test-short race cover bench bench-json bench-json-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -83,10 +83,18 @@ fmtcheck:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (floatcmp, errdrop, panicstyle,
-# mutexcopy). Exit status 1 means findings.
+# Project-specific static analysis: the full 11-analyzer suite over the
+# whole module as JSON, diffed against the committed baseline. Exit
+# status: 0 clean, 1 unbaselined findings or stale baseline entries,
+# 2 packages that failed to parse/type-check.
 lint:
-	$(GO) run ./cmd/pftklint ./...
+	$(GO) run ./cmd/pftklint -json -check ./...
+
+# Accept the current findings into the committed baseline. Run only when
+# a finding is a deliberate, justified exception that an
+# //pftklint:ignore directive cannot express better.
+lint-baseline:
+	$(GO) run ./cmd/pftklint -write-baseline ./...
 
 # The pftkinvariants build turns the invariant layer's checks into
 # panics. The full test suite deliberately feeds NaN to the entry points,

@@ -112,7 +112,8 @@ var (
 	// outside it, under the entry's once, so concurrent campaigns
 	// calibrating *different* pairs proceed in parallel while
 	// same-pair callers still share a single calibration.
-	calMu    sync.Mutex
+	calMu sync.Mutex
+	//pftk:guardedby calMu
 	calCache = map[string]*calEntry{}
 )
 

@@ -178,6 +178,240 @@ func method(s *S, v int) {
 }
 `,
 
+	// Package-scope determinism: the fixture module's internal/sim
+	// matches the deterministic package suffixes, so every function is
+	// in scope without annotations.
+	"internal/sim/determbad.go": `package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type counts map[string]int
+
+func clock() int64 { return time.Now().UnixNano() } // want determinism (time.Now)
+
+func draw() float64 { return rand.Float64() } // want determinism (global math/rand)
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want determinism (goroutine)
+}
+
+func leak(m counts) int {
+	s := 0
+	for _, v := range m { // want determinism (map range reaches values)
+		s += v
+	}
+	return s
+}
+
+func sortedKeys(m counts) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // allowed: sorted-keys idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func count(m counts) int {
+	n := 0
+	for range m { // allowed: pure counting loop
+		n++
+	}
+	return n
+}
+`,
+
+	// Function-scope determinism via the //pftk:deterministic directive,
+	// outside the always-on packages.
+	"determfn/determfn.go": `package determfn
+
+import "time"
+
+//pftk:deterministic
+func replay() int64 { return time.Now().UnixNano() } // want determinism
+
+func wall() int64 { return time.Now().UnixNano() } // allowed: out of scope
+`,
+
+	"guardbad/guardbad.go": `package guardbad
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	//pftk:guardedby mu
+	n int
+}
+
+func (s *Store) Bad() int { return s.n } // want guardedby (no lock)
+
+func (s *Store) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n // allowed: dominating Lock
+}
+
+func (s *Store) ReadOK() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n // allowed: RLock licenses reads
+}
+
+func (s *Store) WriteUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.n++ // want guardedby (write under RLock)
+}
+
+// locked relies on its callers holding mu.
+//
+//pftk:locked(mu)
+func (s *Store) locked() int { return s.n } // allowed: caller contract
+
+func fresh() *Store {
+	st := &Store{}
+	st.n = 1 // allowed: local, not yet published
+	return st
+}
+
+func (s *Store) branch(b bool) int {
+	if b {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.n // want guardedby (lock in a branch does not dominate)
+}
+
+func escape(s *Store) func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int { return s.n } // want guardedby (closure outlives the lock)
+}
+
+var (
+	gmu sync.Mutex
+	//pftk:guardedby gmu
+	global int
+)
+
+func pkgBad() int { return global } // want guardedby (package var)
+
+func pkgGood() int {
+	gmu.Lock()
+	defer gmu.Unlock()
+	return global // allowed
+}
+`,
+
+	// Cross-package guardedby: the field is annotated in guardx/a, the
+	// accesses live in guardx/b — only per-package facts shared across
+	// the run make this checkable.
+	"guardx/a/a.go": `package a
+
+import "sync"
+
+type Shared struct {
+	Mu sync.Mutex
+	//pftk:guardedby Mu
+	N int
+}
+`,
+
+	"guardx/b/b.go": `package b
+
+import "fixture/guardx/a"
+
+func Bad(s *a.Shared) int { return s.N } // want guardedby
+
+func Good(s *a.Shared) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.N // allowed
+}
+`,
+
+	"ignorebad/ignorebad.go": `package ignorebad
+
+func live(a, b float64) bool {
+	return a == b //pftklint:ignore floatcmp fixture: live suppression, audit-clean
+}
+
+func stale(a, b float64) bool {
+	//pftklint:ignore floatcmp nothing below trips floatcmp any more
+	return a < b
+}
+
+func unjustified(a, b float64) bool {
+	//pftklint:ignore floatcmp
+	return a == b
+}
+
+func unknown(a, b float64) bool {
+	//pftklint:ignore nosuch because of a typo
+	return a < b
+}
+
+func nameless() {
+	//pftklint:ignore
+	_ = 0
+}
+
+func otherRun() {
+	//pftklint:ignore hotalloc justified, but hotalloc is not part of this run
+	_ = 0
+}
+`,
+
+	"directivebad/directivebad.go": `package directivebad
+
+import "sync"
+
+//pftk:hotpth
+func typo() {} // want directive (unknown name)
+
+//pftk:deterministic
+type T struct{} // want directive (misplaced: not a function)
+
+type G struct {
+	mu sync.Mutex
+	//pftk:guardedby
+	a int
+	//pftk:guardedby missing
+	b int
+	//pftk:guardedby mu
+	c int // allowed
+}
+
+//pftk:locked
+func noArg() {} // want directive (locked needs a mutex)
+
+//pftklint:nonsense
+func badVerb() {} // want directive (unknown pftklint verb)
+`,
+
+	"jsontagbad/jsontagbad.go": `package jsontagbad
+
+type Mixed struct {
+	A int ` + "`json:\"a\"`" + `
+	B int // want jsontag (exported, untagged, in a tagged struct)
+	c int // allowed: unexported
+}
+
+type Plain struct { // allowed: no json tags anywhere
+	A int
+	B int
+}
+
+type Inlined struct {
+	Plain     // allowed: embedded fields inline on purpose
+	A     int ` + "`json:\"a\"`" + `
+}
+`,
+
 	"ignored/ignored.go": `package ignored
 
 func sameLine(a, b float64) bool {
@@ -355,6 +589,99 @@ func TestIgnoreDirective(t *testing.T) {
 	checkDiags(t, got, []expectation{
 		{13, "compared with =="},
 		{17, "compared with =="},
+	})
+}
+
+func TestDeterminismFixturePackageScope(t *testing.T) {
+	pkg := fixturePkgs(t)["sim"]
+	got := Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer})
+	checkDiags(t, got, []expectation{
+		{11, "time.Now reads the wall clock"},
+		{13, "global rand.Float64"},
+		{16, "goroutine spawn"},
+		{21, "map iteration order is randomized"},
+	})
+}
+
+func TestDeterminismFixtureAnnotatedFunc(t *testing.T) {
+	pkg := fixturePkgs(t)["determfn"]
+	got := Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer})
+	// Only the //pftk:deterministic function is in scope; wall() uses
+	// time.Now legally.
+	checkDiags(t, got, []expectation{
+		{6, "time.Now reads the wall clock"},
+	})
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["guardbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{GuardedByAnalyzer})
+	checkDiags(t, got, []expectation{
+		{11, "n is guarded by mu but accessed without holding it"},
+		{28, "write to n (guarded by mu) under RLock"},
+		{47, "n is guarded by mu but accessed without holding it"},
+		{53, "n is guarded by mu but accessed without holding it"},
+		{62, "global is guarded by gmu but accessed without holding it"},
+	})
+}
+
+func TestGuardedByCrossPackage(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	// The field is annotated in guardx/a; the unguarded access lives in
+	// guardx/b. The shared FactTable is what makes this checkable.
+	got := Run([]*Package{pkgs["a"], pkgs["b"]}, []*Analyzer{GuardedByAnalyzer})
+	checkDiags(t, got, []expectation{
+		{5, "N is guarded by Mu but accessed without holding it"},
+	})
+}
+
+func TestIgnoreAuditFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["ignorebad"]
+	got := Run([]*Package{pkg}, []*Analyzer{FloatCmpAnalyzer, IgnoreAuditAnalyzer})
+	checkDiags(t, got, []expectation{
+		{8, "stale ignore: no floatcmp finding is suppressed here"},
+		{13, "no justification"},
+		{14, "compared with =="}, // unjustified directive does not suppress
+		{18, `unknown analyzer "nosuch"`},
+		{23, "names no analyzer"},
+		// line 28 (hotalloc ignore) is NOT judged: hotalloc is not in
+		// this run, so its staleness is undecidable.
+	})
+}
+
+func TestIgnoreAuditRunSetGating(t *testing.T) {
+	pkg := fixturePkgs(t)["ignorebad"]
+	// With hotalloc in the run set, its unused ignore becomes stale.
+	got := Run([]*Package{pkg}, []*Analyzer{FloatCmpAnalyzer, HotAllocAnalyzer, IgnoreAuditAnalyzer})
+	var hot []Diagnostic
+	for _, d := range got {
+		if d.Pos.Line == 28 {
+			hot = append(hot, d)
+		}
+	}
+	if len(hot) != 1 || !strings.Contains(hot[0].Message, "stale ignore: no hotalloc finding") {
+		t.Errorf("want one stale-hotalloc finding on line 28, got %v", hot)
+	}
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["directivebad"]
+	got := Run([]*Package{pkg}, []*Analyzer{DirectiveAnalyzer})
+	checkDiags(t, got, []expectation{
+		{5, `unknown //pftk: directive "hotpth"`},
+		{8, "must be in a function declaration's doc comment"},
+		{13, "needs the guarding mutex"},
+		{16, `no sibling field or package variable "missing" exists`},
+		{21, "needs the held mutex"},
+		{24, `unknown //pftklint: verb "nonsense"`},
+	})
+}
+
+func TestJSONTagFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["jsontagbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{JSONTagAnalyzer})
+	checkDiags(t, got, []expectation{
+		{5, "exported field B has no json tag"},
 	})
 }
 

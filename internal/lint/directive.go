@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DirectiveAnalyzer validates the //pftk: annotation vocabulary itself.
+// A typo'd directive is worse than a missing one: //pftk:gaurdedby
+// silently protects nothing while reading like it does. It flags:
+//
+//   - unknown directive names (anything not in KnownDirectives);
+//   - guardedby without a mutex name, or naming a mutex that does not
+//     resolve (no sibling field / package variable of that name);
+//   - locked without a parenthesized mutex name;
+//   - misplaced directives: hotpath, deterministic and locked belong on
+//     function declarations; guardedby belongs on struct fields or
+//     package-level variables.
+//
+// //pftklint: comments are a separate namespace: only the "ignore" verb
+// exists, and ignoreaudit validates its payload.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc:  "flags unknown, malformed and misplaced //pftk: annotations",
+	Run:  runDirective,
+}
+
+// directiveContext describes where a directive comment is attached.
+type directiveContext int
+
+const (
+	ctxFloating directiveContext = iota
+	ctxFuncDoc
+	ctxField
+	ctxVar
+)
+
+func runDirective(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ctx := directiveContexts(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//pftklint:"); ok {
+					if verb := firstWord(rest); verb != "ignore" {
+						p.Reportf(c.Pos(), "unknown //pftklint: verb %q (only \"ignore\" exists)", verb)
+					}
+					continue
+				}
+				name, arg, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				where := ctx[c]
+				switch name {
+				case DirHotpath, DirDeterministic:
+					if where != ctxFuncDoc {
+						p.Reportf(c.Pos(), "//pftk:%s must be in a function declaration's doc comment", name)
+					}
+				case DirLocked:
+					if arg == "" {
+						p.Reportf(c.Pos(), "//pftk:locked needs the held mutex: //pftk:locked(mu)")
+					} else if where != ctxFuncDoc {
+						p.Reportf(c.Pos(), "//pftk:locked must be in a function declaration's doc comment")
+					}
+				case DirGuardedBy:
+					switch {
+					case arg == "":
+						p.Reportf(c.Pos(), "//pftk:guardedby needs the guarding mutex: //pftk:guardedby mu")
+					case where != ctxField && where != ctxVar:
+						p.Reportf(c.Pos(), "//pftk:guardedby must be attached to a struct field or package-level var")
+					}
+				default:
+					p.Reportf(c.Pos(), "unknown //pftk: directive %q (known: %s)", name, strings.Join(KnownDirectives, ", "))
+				}
+			}
+		}
+	}
+	// Unresolved guards: the annotation parsed and sits in the right
+	// place, but the named mutex does not exist.
+	facts := p.Facts.For(p.Pkg.Types)
+	if facts == nil {
+		return
+	}
+	for obj, g := range facts.Guarded {
+		if g.GuardObj == nil {
+			p.Reportf(obj.Pos(), "%s is marked //pftk:guardedby %s, but no sibling field or package variable %q exists", obj.Name(), g.Guard, g.Guard)
+		}
+	}
+}
+
+// directiveContexts maps each comment of the file to the declaration
+// kind it documents.
+func directiveContexts(f *ast.File) map[*ast.Comment]directiveContext {
+	ctx := map[*ast.Comment]directiveContext{}
+	mark := func(cg *ast.CommentGroup, c directiveContext) {
+		if cg == nil {
+			return
+		}
+		for _, cm := range cg.List {
+			ctx[cm] = c
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			mark(d.Doc, ctxFuncDoc)
+		case *ast.GenDecl:
+			isVar := d.Tok.String() == "var"
+			if isVar && len(d.Specs) == 1 {
+				mark(d.Doc, ctxVar)
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					if isVar {
+						mark(s.Doc, ctxVar)
+						mark(s.Comment, ctxVar)
+					}
+				case *ast.TypeSpec:
+					ast.Inspect(s.Type, func(n ast.Node) bool {
+						if st, ok := n.(*ast.StructType); ok {
+							for _, field := range st.Fields.List {
+								mark(field.Doc, ctxField)
+								mark(field.Comment, ctxField)
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return ctx
+}
+
+// firstWord returns the first whitespace-delimited token of s.
+func firstWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}

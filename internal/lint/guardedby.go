@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedByAnalyzer enforces the annotated lock discipline. A struct
+// field or package-level variable carrying //pftk:guardedby mu may only
+// be accessed:
+//
+//   - under a dominating lock: a plain `x.mu.Lock()` / `x.mu.RLock()`
+//     statement earlier in a block that encloses the access, where x is
+//     the same base object the field is read through (for package
+//     variables, a bare `mu.Lock()`), or
+//   - inside a function annotated //pftk:locked(mu), which moves the
+//     obligation to the callers (the `fooLocked` helper idiom), or
+//   - through a variable local to the function — a value that has not
+//     been published yet cannot be shared, which is what makes
+//     constructors lock-free.
+//
+// Writes under RLock are still findings: a read lock only licenses
+// reads. The dominance check is a deliberate structural approximation —
+// a Lock in a conditional branch, or an Unlock before the access, is
+// not modeled; `go test -race ./...` remains the dynamic backstop. The
+// escape hatch is the usual justified //pftklint:ignore guardedby.
+//
+// Facts are cross-package: an exported guarded field is checked at every
+// use site in the module, not just in its home package.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "flags accesses to //pftk:guardedby fields without a dominating Lock/RLock or //pftk:locked caller contract",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(p, fd)
+		}
+	}
+}
+
+// guardedAccess is one use of a guarded object inside a function.
+type guardedAccess struct {
+	sel   ast.Expr     // the access expression (SelectorExpr or Ident)
+	base  ast.Expr     // receiver chain of a field access; nil for package vars
+	obj   types.Object // the guarded field/variable
+	guard GuardFact
+	stack []ast.Node // ancestors, outermost first, ending at sel
+	write bool
+}
+
+func checkGuardedFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	lockedGuards := map[string]bool{}
+	for _, g := range p.Facts.LockedGuards(info.Defs[fd.Name]) {
+		lockedGuards[g] = true
+	}
+
+	var accesses []guardedAccess
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if obj := info.Uses[n.Sel]; obj != nil {
+				if g, ok := p.Facts.GuardFor(obj); ok {
+					if sel, isField := info.Selections[n]; !isField || sel.Kind() == types.FieldVal {
+						accesses = append(accesses, guardedAccess{
+							sel: n, base: n.X, obj: obj, guard: g,
+							stack: append([]ast.Node(nil), stack...),
+							write: isWriteContext(stack),
+						})
+					}
+				}
+			}
+		case *ast.Ident:
+			// Bare identifier: a guarded package-level variable. Skip
+			// the Sel half of a selector (already handled above) so a
+			// qualified reference is not counted twice.
+			if len(stack) >= 2 {
+				if parent, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && parent.Sel == n {
+					return true
+				}
+			}
+			if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil {
+				if _, isVar := obj.(*types.Var); isVar && obj.Parent() == obj.Pkg().Scope() {
+					if g, ok := p.Facts.GuardFor(obj); ok {
+						accesses = append(accesses, guardedAccess{
+							sel: n, obj: obj, guard: g,
+							stack: append([]ast.Node(nil), stack...),
+							write: isWriteContext(stack),
+						})
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+
+	for _, acc := range accesses {
+		checkAccess(p, fd, acc, lockedGuards)
+	}
+}
+
+// isWriteContext reports whether the innermost expression in the stack
+// is written: assigned to, address-taken, or inc/dec'd. The stack ends
+// at the access expression itself.
+func isWriteContext(stack []ast.Node) bool {
+	expr := stack[len(stack)-1].(ast.Expr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == expr {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return parent.X == expr
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND && parent.X == expr {
+				return true // address escapes; treat as write
+			}
+			return false
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr:
+			expr = stack[i].(ast.Expr) // x.f.g = v, x.f[i] = v: keep climbing
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func checkAccess(p *Pass, fd *ast.FuncDecl, acc guardedAccess, lockedGuards map[string]bool) {
+	// Contract annotation: //pftk:locked(mu) moves the obligation to
+	// callers (full lock semantics — writes allowed).
+	if lockedGuards[acc.guard.Guard] {
+		return
+	}
+	// Unpublished values: accesses through a variable declared inside
+	// this function body cannot race before the value escapes.
+	rootObj := rootObject(p.Pkg.Info, acc.base)
+	if acc.base != nil && rootObj != nil && localToFunc(rootObj, fd) {
+		return
+	}
+	// Dominating lock: scan enclosing blocks (up to the nearest function
+	// boundary — a closure's body may run long after the outer lock was
+	// released, so locks do not cross FuncLit boundaries).
+	kind := dominatingLock(p.Pkg.Info, acc)
+	if kind == lockWrite || (kind == lockRead && !acc.write) {
+		return
+	}
+	what := acc.obj.Name()
+	switch {
+	case kind == lockRead && acc.write:
+		p.Reportf(acc.sel.Pos(), "write to %s (guarded by %s) under RLock; a read lock only licenses reads", what, acc.guard.Guard)
+	default:
+		p.Reportf(acc.sel.Pos(), "%s is guarded by %s but accessed without holding it; lock %s on every path, or annotate the function //pftk:locked(%s) if callers hold it", what, acc.guard.Guard, acc.guard.Guard, acc.guard.Guard)
+	}
+}
+
+// lockKind classifies the strongest dominating lock found.
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockRead
+	lockWrite
+)
+
+// dominatingLock scans the access's enclosing blocks, innermost to
+// outermost, stopping at the first function boundary, for a plain
+// `<base>.<guard>.Lock()` / `.RLock()` statement that precedes the
+// statement containing the access.
+func dominatingLock(info *types.Info, acc guardedAccess) lockKind {
+	best := lockNone
+	stack := acc.stack
+	// child is the direct descendant of the block under inspection that
+	// leads to the access; only statements strictly before it dominate.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return best // boundary: outer locks don't cover deferred bodies
+		case *ast.BlockStmt:
+			child := stack[i+1]
+			for _, stmt := range n.List {
+				if stmt == child {
+					break
+				}
+				if k := lockStmtKind(info, stmt, acc); k > best {
+					best = k
+				}
+			}
+		}
+	}
+	return best
+}
+
+// lockStmtKind classifies a statement as a lock acquisition matching the
+// access's guard and base, or lockNone.
+func lockStmtKind(info *types.Info, stmt ast.Stmt, acc guardedAccess) lockKind {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return lockNone
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockNone
+	}
+	method, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone
+	}
+	var kind lockKind
+	switch method.Sel.Name {
+	case "Lock":
+		kind = lockWrite
+	case "RLock":
+		kind = lockRead
+	default:
+		return lockNone
+	}
+	// The receiver of Lock must be the guard object itself, reached
+	// through the same base as the guarded access: x.mu.Lock() guarding
+	// x.items, or mu.Lock() guarding a package variable.
+	switch guardExpr := method.X.(type) {
+	case *ast.SelectorExpr:
+		if info.Uses[guardExpr.Sel] != acc.guard.GuardObj || acc.guard.GuardObj == nil {
+			return lockNone
+		}
+		if acc.base == nil {
+			return lockNone
+		}
+		if !sameRoot(info, guardExpr.X, acc.base) {
+			return lockNone
+		}
+		return kind
+	case *ast.Ident:
+		if acc.guard.GuardObj != nil && info.Uses[guardExpr] == acc.guard.GuardObj {
+			return kind // package-level guard
+		}
+	}
+	return lockNone
+}
+
+// sameRoot reports whether two receiver chains start from the same
+// object (c in c.mu.Lock() vs c.items). An approximation: sibling
+// structs reached from the same root with identically-named guards are
+// conflated, which errs toward accepting — the race detector backs this
+// up dynamically.
+func sameRoot(info *types.Info, a, b ast.Expr) bool {
+	ra, rb := rootObject(info, a), rootObject(info, b)
+	return ra != nil && ra == rb
+}
+
+// rootObject returns the object of the leftmost identifier of a
+// receiver chain (c for c.foo.bar, after unwrapping parens, indexes and
+// derefs), or nil.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil // chained through a call: give up on identity
+		default:
+			return nil
+		}
+	}
+}
+
+// localToFunc reports whether a variable is declared inside the
+// function's body — a yet-unpublished value (parameters and receivers,
+// whose positions precede the body, do not qualify).
+func localToFunc(obj types.Object, fd *ast.FuncDecl) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pos() == token.NoPos {
+		return false
+	}
+	return v.Pos() >= fd.Body.Pos() && v.Pos() <= fd.Body.End()
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+)
+
+// JSONTagAnalyzer guards the wire formats (the pftkd API types, the
+// scenario codec, the obs export schema, BENCH_sim.json): a struct that
+// JSON-tags some exported fields but not others is almost always a
+// refactor remnant, and the untagged field silently marshals under its
+// Go name — a schema change no test notices until a client breaks.
+// Embedded fields are exempt (untagged embedding is the deliberate
+// inlining idiom), as are structs with no json tags at all (plain
+// in-memory types).
+var JSONTagAnalyzer = &Analyzer{
+	Name: "jsontag",
+	Doc:  "flags exported fields missing a json tag in structs that tag other fields",
+	Run:  runJSONTag,
+}
+
+func runJSONTag(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStructTags(p, st)
+			return true
+		})
+	}
+}
+
+func checkStructTags(p *Pass, st *ast.StructType) {
+	anyTagged := false
+	for _, field := range st.Fields.List {
+		if hasJSONTag(field) {
+			anyTagged = true
+			break
+		}
+	}
+	if !anyTagged {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 || hasJSONTag(field) {
+			continue // embedded (deliberate inlining) or tagged
+		}
+		for _, id := range field.Names {
+			if id.IsExported() {
+				p.Reportf(id.Pos(), "exported field %s has no json tag in a json-tagged struct; it marshals under its Go name — tag it (or json:\"-\" to exclude)", id.Name)
+			}
+		}
+	}
+}
+
+// hasJSONTag reports whether the field's struct tag carries a json key.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}

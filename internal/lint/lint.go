@@ -17,6 +17,18 @@
 //   - hotalloc: capturing closures and append calls inside functions
 //     marked //pftk:hotpath — the advisory allocation gate backing the
 //     zero-allocation event core.
+//   - determinism: wall-clock reads, global math/rand, goroutine spawns
+//     and unordered map iteration inside the simulation packages and
+//     //pftk:deterministic functions.
+//   - guardedby: fields and package variables annotated
+//     //pftk:guardedby mu accessed without a dominating Lock/RLock or a
+//     //pftk:locked(mu) caller contract.
+//   - ignoreaudit: every //pftklint:ignore directive must name a known
+//     analyzer, carry a justification, and actually suppress a finding.
+//   - directive: unknown or misplaced //pftk: annotations (a typo in a
+//     directive silently disables its invariant).
+//   - jsontag: structs that JSON-tag some exported fields must tag all
+//     of them — a missing tag silently leaks the Go name on the wire.
 //
 // A diagnostic can be suppressed at a specific site with a directive
 // comment on, or on the line before, the offending line:
@@ -24,10 +36,11 @@
 //	//pftklint:ignore floatcmp exact comparison is intended here
 //
 // The first word after "ignore" is the analyzer name (or a
-// comma-separated list); the rest is a mandatory justification. Adding a
-// new analyzer means writing one file with a Run(*Pass) function and
-// appending it to Analyzers — see DESIGN.md's "Correctness tooling"
-// section.
+// comma-separated list); the rest is a mandatory justification. The
+// ignoreaudit analyzer turns malformed and stale directives into
+// findings of their own. Adding a new analyzer means writing one file
+// with a Run(*Pass) function and appending it to Analyzers — see
+// DESIGN.md's "Correctness tooling" section.
 package lint
 
 import (
@@ -44,6 +57,8 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Run inspects one package and reports findings through the pass.
+	// The ignoreaudit analyzer is the one exception: it runs inside
+	// Finish, after suppression, and its Run is a no-op marker.
 	Run func(*Pass)
 }
 
@@ -55,6 +70,11 @@ var Analyzers = []*Analyzer{
 	MutexCopyAnalyzer,
 	CtorParamsAnalyzer,
 	HotAllocAnalyzer,
+	DeterminismAnalyzer,
+	GuardedByAnalyzer,
+	DirectiveAnalyzer,
+	JSONTagAnalyzer,
+	IgnoreAuditAnalyzer,
 }
 
 // ByName returns the named analyzer, or nil.
@@ -89,13 +109,16 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Facts gives the pass read access to the annotation tables of
+	// every package in the run, keyed by type-checker package identity.
+	Facts *FactTable
 
-	diags *[]Diagnostic
+	diags []Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
+	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
@@ -104,16 +127,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run applies the analyzers to the packages and returns the surviving
 // diagnostics sorted by position. Findings suppressed by
-// //pftklint:ignore directives are dropped.
+// //pftklint:ignore directives are dropped; when the ignoreaudit
+// analyzer is part of the run, malformed and stale directives become
+// findings. Run is the serial path; the Driver parallelizes
+// AnalyzePackage across packages and funnels into the same Finish.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := NewFactTable(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-			a.Run(pass)
+		diags = append(diags, AnalyzePackage(pkg, analyzers, facts)...)
+	}
+	return Finish(pkgs, analyzers, diags)
+}
+
+// AnalyzePackage runs every analyzer over one package and returns the
+// raw (unfiltered, unsorted) diagnostics. It touches only the package
+// and the read-only fact table, so the driver may call it from multiple
+// goroutines for different packages concurrently.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer, facts *FactTable) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	return diags
+}
+
+// Finish applies ignore-directive suppression to raw diagnostics, runs
+// the ignore audit when requested, and returns the survivors sorted by
+// position.
+func Finish(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	dirs := collectIgnores(pkgs)
+	used := map[ignoreKey]bool{}
+	diags = filterIgnored(dirs, diags, used)
+	for _, a := range analyzers {
+		if a == IgnoreAuditAnalyzer {
+			audit := auditIgnores(pkgs, analyzers, dirs, used)
+			// Audit findings are themselves suppressible (an
+			// intentionally-retained directive can carry its own
+			// //pftklint:ignore ignoreaudit justification).
+			diags = append(diags, filterIgnored(dirs, audit, used)...)
+			break
 		}
 	}
-	diags = filterIgnored(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,24 +197,50 @@ type ignoreKey struct {
 	analyzer string
 }
 
-// filterIgnored drops diagnostics matched by an ignore directive on the
-// same line or the line directly above.
-func filterIgnored(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	ignores := map[ignoreKey]bool{}
+// ignoreDirective is one parsed //pftklint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	names     []string // analyzers named; nil when the list is missing
+	justified bool     // a justification followed the analyzer list
+}
+
+// collectIgnores parses every //pftklint:ignore directive in the
+// packages, including malformed ones (the audit reports those; the
+// filter honours only well-formed directives).
+func collectIgnores(pkgs []*Package) []ignoreDirective {
+	var dirs []ignoreDirective
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					names, ok := parseIgnore(c.Text)
+					rest, ok := strings.CutPrefix(c.Text, "//pftklint:ignore")
 					if !ok {
 						continue
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					for _, n := range names {
-						ignores[ignoreKey{pos.Filename, pos.Line, n}] = true
+					d := ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+					if fields := strings.Fields(rest); len(fields) > 0 {
+						d.names = strings.Split(fields[0], ",")
+						d.justified = len(fields) >= 2
 					}
+					dirs = append(dirs, d)
 				}
 			}
+		}
+	}
+	return dirs
+}
+
+// filterIgnored drops diagnostics matched by a well-formed ignore
+// directive on the same line or the line directly above, recording every
+// key that actually suppressed something in used.
+func filterIgnored(dirs []ignoreDirective, diags []Diagnostic, used map[ignoreKey]bool) []Diagnostic {
+	ignores := map[ignoreKey]bool{}
+	for _, d := range dirs {
+		if !d.justified {
+			continue // unjustified directives are not honoured
+		}
+		for _, n := range d.names {
+			ignores[ignoreKey{d.pos.Filename, d.pos.Line, n}] = true
 		}
 	}
 	if len(ignores) == 0 {
@@ -162,8 +248,14 @@ func filterIgnored(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		same := ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}
+		above := ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}
+		if ignores[same] {
+			used[same] = true
+			continue
+		}
+		if ignores[above] {
+			used[above] = true
 			continue
 		}
 		kept = append(kept, d)

@@ -133,9 +133,9 @@ func skippedDir(name string) bool {
 	return false
 }
 
-// LoadAll loads every package under the module root and returns them
-// sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// Dirs walks the module and returns every directory containing
+// buildable Go files for the analyzed configuration, sorted.
+func (l *Loader) Dirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -156,6 +156,18 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadAll loads every package under the module root and returns them
+// sorted by import path. The first broken package aborts the load; the
+// Driver is the lenient path that collects per-package errors instead.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.Dirs()
 	if err != nil {
 		return nil, err
 	}

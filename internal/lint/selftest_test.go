@@ -31,3 +31,36 @@ func TestLintSelf(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestDriverSelfCheck is the CI contract in test form: the Driver over
+// the whole module, diffed against the committed baseline, must be
+// clean — zero load errors, zero unbaselined findings, zero stale
+// baseline entries. It is what `pftklint -json -check ./...` asserts.
+func TestDriverSelfCheck(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := (&Driver{Loader: loader}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, le := range report.LoadErrors {
+		t.Errorf("load error: %s: %s", le.Dir, le.Error)
+	}
+	bl, err := ReadBaseline(filepath.Join(root, ".pftklint-baseline.json"))
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	news, stale := bl.Diff(report)
+	for _, f := range news {
+		t.Errorf("unbaselined finding: %s", f)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s: %s: %s", e.File, e.Analyzer, e.Message)
+	}
+}

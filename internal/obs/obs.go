@@ -165,10 +165,13 @@ func (h *Histogram) Mean() float64 {
 // no-op handles and its Snapshot is empty, so "metrics off" needs no
 // special-casing anywhere downstream.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//pftk:guardedby mu
 	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	//pftk:guardedby mu
+	gauges map[string]*Gauge
+	//pftk:guardedby mu
+	hists map[string]*Histogram
 }
 
 // New returns an empty registry.

@@ -10,9 +10,11 @@ import (
 // pure functions of their normalized request (simulations carry an
 // explicit seed), so a hit can be served verbatim without recomputing.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
+	mu  sync.Mutex
+	cap int // immutable after construction
+	//pftk:guardedby mu
 	order *list.List // front = most recently used
+	//pftk:guardedby mu
 	items map[string]*list.Element
 }
 

@@ -38,10 +38,13 @@ type Job struct {
 // then evicted oldest-first, so an arbitrarily long-lived daemon holds a
 // bounded job table; queued and running jobs are never evicted.
 type jobStore struct {
-	mu       sync.Mutex
-	seq      uint64
-	max      int
-	jobs     map[string]*Job
+	mu  sync.Mutex
+	max int // immutable after construction
+	//pftk:guardedby mu
+	seq uint64
+	//pftk:guardedby mu
+	jobs map[string]*Job
+	//pftk:guardedby mu
 	finished []string // eviction order, oldest first
 }
 
@@ -115,6 +118,8 @@ func (s *jobStore) fail(id string, msg string) {
 
 // noteFinishedLocked records a terminal transition and evicts the oldest
 // finished jobs beyond the retention cap. Callers hold s.mu.
+//
+//pftk:locked(mu)
 func (s *jobStore) noteFinishedLocked(id string) {
 	s.finished = append(s.finished, id)
 	for len(s.finished) > s.max {

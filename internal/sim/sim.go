@@ -290,6 +290,8 @@ func (e *Engine) Run() uint64 {
 // recycle returns a slot to the free list, bumping its generation so
 // outstanding handles go stale, and dropping callback/payload references
 // so the pool never pins caller memory.
+//
+//pftk:hotpath
 func (e *Engine) recycle(id int32) {
 	s := &e.slots[id]
 	s.gen++

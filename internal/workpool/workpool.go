@@ -17,7 +17,8 @@ type Pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup // live workers
 
-	mu      sync.RWMutex // guards closed vs. in-flight submits
+	mu sync.RWMutex // guards closed vs. in-flight submits
+	//pftk:guardedby mu
 	closed  bool
 	pending sync.WaitGroup // accepted but unfinished jobs
 }

@@ -272,7 +272,13 @@ func Sim(opts ...SimOption) SimResult {
 	return runSim(c)
 }
 
-// runSim is the single execution path behind Sim and Simulate.
+// runSim is the single execution path behind Sim and Simulate. It is
+// annotated deterministic: for a fixed config (including the seed) it
+// must produce byte-identical traces — the contract the golden tests and
+// serial==parallel campaign identity rest on — so the determinism
+// analyzer checks it like the simulation packages themselves.
+//
+//pftk:deterministic
 func runSim(c SimConfig) SimResult {
 	if c.Duration <= 0 {
 		c.Duration = 100
