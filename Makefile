@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-json-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke scenario-smoke scenario-golden check clean
+.PHONY: all build test test-short race cover bench bench-json bench-json-smoke bench-serve-json fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke trace-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -83,7 +83,7 @@ fmtcheck:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the full 11-analyzer suite over the
+# Project-specific static analysis: the full 12-analyzer suite over the
 # whole module as JSON, diffed against the committed baseline. Exit
 # status: 0 clean, 1 unbaselined findings or stale baseline entries,
 # 2 packages that failed to parse/type-check.
@@ -134,6 +134,52 @@ serve-smoke:
 	grep -q "drained and stopped" serve-smoke-out/pftkd.log
 	rm -rf serve-smoke-out
 
+# End-to-end tracing smoke test: boot pftkd with tracing and an access
+# log, push a traced predict burst through pftkload, then require the
+# /debug/tracez JSONL export to contain the request root spans, their
+# eval children and the load tool's propagated request ids — and the
+# access log to carry the same ids with the queue/service split.
+trace-smoke:
+	rm -rf trace-smoke-out && mkdir -p trace-smoke-out
+	$(GO) build -o trace-smoke-out/pftkd ./cmd/pftkd
+	$(GO) build -o trace-smoke-out/pftkload ./cmd/pftkload
+	./trace-smoke-out/pftkd -addr 127.0.0.1:0 \
+		-addrfile trace-smoke-out/addr \
+		-accesslog trace-smoke-out/access.log >trace-smoke-out/pftkd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s trace-smoke-out/addr ] && break; sleep 0.1; done; \
+	[ -s trace-smoke-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
+	url="http://$$(cat trace-smoke-out/addr)"; \
+	./trace-smoke-out/pftkload -url $$url -c 4 -n 200 && \
+	curl -fsS "$$url/debug/tracez" >/dev/null && \
+	curl -fsS "$$url/debug/tracez?format=jsonl" >trace-smoke-out/spans.jsonl && \
+	grep -q '"name":"POST /v1/predict"' trace-smoke-out/spans.jsonl && \
+	grep -q '"name":"eval"' trace-smoke-out/spans.jsonl && \
+	grep -q '"key":"request_id","value":"load-' trace-smoke-out/spans.jsonl && \
+	grep -q 'request_id=load-' trace-smoke-out/access.log && \
+	grep -q 'queue_seconds=' trace-smoke-out/access.log && \
+	kill -TERM $$pid && wait $$pid
+	rm -rf trace-smoke-out
+
+# Serving throughput baseline: boot pftkd in its default (traced)
+# configuration, drive a closed-loop predict burst, and fold pftkload's
+# JSON report into BENCH_serve.json under the "current" label. The
+# committed label is the baseline this PR was measured against.
+bench-serve-json:
+	rm -rf bench-serve-out && mkdir -p bench-serve-out
+	$(GO) build -o bench-serve-out/pftkd ./cmd/pftkd
+	$(GO) build -o bench-serve-out/pftkload ./cmd/pftkload
+	./bench-serve-out/pftkd -addr 127.0.0.1:0 \
+		-addrfile bench-serve-out/addr >bench-serve-out/pftkd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s bench-serve-out/addr ] && break; sleep 0.1; done; \
+	[ -s bench-serve-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
+	url="http://$$(cat bench-serve-out/addr)"; \
+	./bench-serve-out/pftkload -url $$url -c 8 -n 5000 -json \
+		| $(GO) run ./cmd/benchjson -serve -o BENCH_serve.json -label current; \
+	status=$$?; kill -TERM $$pid; wait $$pid; \
+	rm -rf bench-serve-out; exit $$status
+
 # End-to-end scenario smoke test: simulate the bundled outage scenario
 # through tracesim, analyze it with traceanal, and diff the per-interval
 # report against the checked-in golden output. Any nondeterminism in the
@@ -159,7 +205,7 @@ scenario-golden:
 	rm -f /tmp/outage-golden.pftk
 
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke scenario-smoke
+check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke trace-smoke scenario-smoke
 
 clean:
-	rm -rf results obs-smoke-out serve-smoke-out
+	rm -rf results obs-smoke-out serve-smoke-out trace-smoke-out bench-serve-out

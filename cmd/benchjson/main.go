@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,7 +45,77 @@ type Result struct {
 type Baseline struct {
 	Date       string             `json:"date,omitempty"`
 	Note       string             `json:"note,omitempty"`
-	Benchmarks map[string]*Result `json:"benchmarks"`
+	Benchmarks map[string]*Result `json:"benchmarks,omitempty"`
+	// Serve is the serving-latency baseline recorded with -serve from a
+	// pftkload -json report (BENCH_serve.json entries).
+	Serve *ServeResult `json:"serve,omitempty"`
+}
+
+// ServeResult is the committed serving baseline: achieved rate plus the
+// client-observed latency quantiles and the server-reported
+// queue/service split.
+type ServeResult struct {
+	Mode              string  `json:"mode"`
+	Concurrency       int     `json:"concurrency"`
+	Requests          int     `json:"requests"`
+	ReqPerSec         float64 `json:"req_per_sec"`
+	P50Seconds        float64 `json:"p50_seconds"`
+	P99Seconds        float64 `json:"p99_seconds"`
+	QueueP50Seconds   float64 `json:"queue_p50_seconds,omitempty"`
+	QueueP99Seconds   float64 `json:"queue_p99_seconds,omitempty"`
+	ServiceP50Seconds float64 `json:"service_p50_seconds,omitempty"`
+	ServiceP99Seconds float64 `json:"service_p99_seconds,omitempty"`
+}
+
+// loadQuantiles mirrors pftkload's quantile summary.
+type loadQuantiles struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// loadReport is the subset of the pftkload -json report benchjson
+// records.
+type loadReport struct {
+	Mode           string         `json:"mode"`
+	Concurrency    int            `json:"concurrency"`
+	Requests       int            `json:"requests"`
+	ReqPerSec      float64        `json:"req_per_sec"`
+	Status2xx      int            `json:"status_2xx"`
+	LatencySeconds *loadQuantiles `json:"latency_seconds"`
+	QueueSeconds   *loadQuantiles `json:"queue_seconds"`
+	ServiceSeconds *loadQuantiles `json:"service_seconds"`
+}
+
+// parseServe reads one pftkload -json report and reduces it to the
+// committed ServeResult, rejecting reports with no successful traffic —
+// a baseline of failures is worse than no baseline.
+func parseServe(r io.Reader) (*ServeResult, error) {
+	var rep loadReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("stdin is not a pftkload -json report: %w", err)
+	}
+	if rep.Status2xx == 0 {
+		return nil, fmt.Errorf("report has no successful responses (%d requests); refusing to record it", rep.Requests)
+	}
+	if rep.LatencySeconds == nil {
+		return nil, fmt.Errorf("report carries no latency quantiles")
+	}
+	sr := &ServeResult{
+		Mode:        rep.Mode,
+		Concurrency: rep.Concurrency,
+		Requests:    rep.Requests,
+		ReqPerSec:   rep.ReqPerSec,
+		P50Seconds:  rep.LatencySeconds.P50,
+		P99Seconds:  rep.LatencySeconds.P99,
+	}
+	if q := rep.QueueSeconds; q != nil {
+		sr.QueueP50Seconds, sr.QueueP99Seconds = q.P50, q.P99
+	}
+	if q := rep.ServiceSeconds; q != nil {
+		sr.ServiceP50Seconds, sr.ServiceP99Seconds = q.P50, q.P99
+	}
+	return sr, nil
 }
 
 // File is the on-disk shape of BENCH_sim.json.
@@ -199,8 +270,38 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		note    = fs.String("note", "", "free-text note stored with the baseline")
 		check   = fs.Bool("check", false, "validate the stream instead of recording it")
 		require = fs.String("require", "", "comma-separated benchmark names that must be present (with -check)")
+		serve   = fs.Bool("serve", false, "read a pftkload -json report instead of go test -bench output (BENCH_serve.json)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serve {
+		sr, err := parseServe(in)
+		if err != nil {
+			return err
+		}
+		b := &Baseline{
+			Date:  time.Now().UTC().Format("2006-01-02"),
+			Note:  *note,
+			Serve: sr,
+		}
+		e := env{goos: runtime.GOOS, goarch: runtime.GOARCH}
+		if *outFile == "" {
+			data, err := json.MarshalIndent(&File{
+				GOOS: e.goos, GOARCH: e.goarch,
+				Baselines: map[string]*Baseline{*label: b},
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(out, "%s\n", data)
+			return err
+		}
+		if err := mergeFile(*outFile, *label, b, e); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "benchjson: recorded serving baseline (%.1f req/s, p50 %.6fs, p99 %.6fs) under %q in %s\n",
+			sr.ReqPerSec, sr.P50Seconds, sr.P99Seconds, *label, *outFile)
 		return err
 	}
 	raw, e, err := parse(in)

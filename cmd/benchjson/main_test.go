@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -152,5 +153,48 @@ func TestCorruptBaselineFileIsAnError(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-o", path}, strings.NewReader(sampleBench), &out); err == nil {
 		t.Error("expected an error merging into a corrupt baseline file")
+	}
+}
+
+// TestServeModeRecordsBaseline folds a pftkload -json report into a
+// BENCH_serve.json baseline file and checks the recorded shape.
+func TestServeModeRecordsBaseline(t *testing.T) {
+	in := strings.NewReader(`{
+		"target": "http://127.0.0.1:1/v1/predict",
+		"mode": "predict", "concurrency": 8, "requests": 100,
+		"seconds": 2.0, "req_per_sec": 50,
+		"status_2xx": 100,
+		"latency_seconds": {"p50": 0.002, "p90": 0.004, "p95": 0.005, "p99": 0.009, "max": 0.02},
+		"queue_seconds": {"p50": 0.0001, "p99": 0.001},
+		"service_seconds": {"p50": 0.0015, "p99": 0.007}
+	}`)
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out bytes.Buffer
+	if err := run([]string{"-serve", "-o", path, "-label", "initial"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	sr := f.Baselines["initial"].Serve
+	if sr == nil {
+		t.Fatalf("no serve baseline recorded: %s", data)
+	}
+	if sr.ReqPerSec != 50 || sr.P50Seconds != 0.002 || sr.P99Seconds != 0.009 {
+		t.Errorf("serve baseline = %+v", sr)
+	}
+	if sr.QueueP99Seconds != 0.001 || sr.ServiceP50Seconds != 0.0015 {
+		t.Errorf("queue/service split lost: %+v", sr)
+	}
+
+	// A report with no successes must be refused.
+	bad := strings.NewReader(`{"requests": 5, "status_2xx": 0, "latency_seconds": {"p50": 1, "p99": 1}}`)
+	if err := run([]string{"-serve", "-o", path}, bad, &out); err == nil {
+		t.Error("all-failure report was recorded")
 	}
 }

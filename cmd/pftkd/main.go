@@ -27,6 +27,7 @@ import (
 	"pftk/internal/cli"
 	"pftk/internal/obs"
 	"pftk/internal/serve"
+	"pftk/internal/tracez"
 )
 
 func main() {
@@ -45,14 +46,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pftkd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
-		addrfile = fs.String("addrfile", "", "write the bound address to this file (for scripts with -addr :0)")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = fs.Int("queue", 256, "job queue depth; a full queue sheds load with 429")
-		cache    = fs.Int("cache", 4096, "result cache entries")
-		maxBatch = fs.Int("maxbatch", 1024, "maximum points per predict batch")
-		debug    = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0)")
-		version  = fs.Bool("version", false, "print the build version and exit")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		addrfile  = fs.String("addrfile", "", "write the bound address to this file (for scripts with -addr :0)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 256, "job queue depth; a full queue sheds load with 429")
+		cache     = fs.Int("cache", 4096, "result cache entries")
+		maxBatch  = fs.Int("maxbatch", 1024, "maximum points per predict batch")
+		debug     = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0)")
+		trace     = fs.Bool("trace", true, "record request spans and serve /debug/tracez")
+		tracecap  = fs.Int("tracecap", 4096, "spans retained across the trace ring")
+		accessLog = fs.String("accesslog", "", "write one access-log line per request to this file (\"-\" = stderr)")
+		version   = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,9 +79,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-maxbatch must be positive, got %d", *maxBatch)
 	}
 
+	if *tracecap < 1 {
+		return fmt.Errorf("-tracecap must be positive, got %d", *tracecap)
+	}
+
 	reg := obs.New()
+	var tracer *tracez.Tracer
+	if *trace {
+		// 8 shards spread commit contention across handler goroutines;
+		// the cap is the total spans retained.
+		tracer = tracez.New(tracez.Options{Shards: 8, PerShard: (*tracecap + 7) / 8})
+	}
+	var logw io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logw = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		// Error at close is uninteresting: the log is append-only and the
+		// process is exiting.
+		defer func() { _ = f.Close() }()
+		logw = f
+	}
 	if *debug != "" {
-		dbgAddr, err := obs.ServeDebug(*debug, reg)
+		dbgAddr, err := obs.ServeDebug(*debug, reg,
+			obs.Mount{Pattern: "/debug/tracez", Handler: tracer.Handler()})
 		if err != nil {
 			return err
 		}
@@ -90,6 +120,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheEntries: *cache,
 		MaxBatch:     *maxBatch,
 		Registry:     reg,
+		Tracer:       tracer,
+		AccessLog:    logw,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,11 +40,58 @@ func main() {
 // never share mutable state on the hot path.
 type workerStats struct {
 	latencies []float64 // seconds, successful round trips only
+	queues    []float64 // server-reported queue-wait seconds (X-Queue-Seconds)
+	services  []float64 // server-reported service seconds (X-Service-Seconds)
 	n2xx      int
 	n429      int
 	n4xx      int // other 4xx
 	n5xx      int
 	errors    int // transport failures
+}
+
+// quantileSet is the latency summary shape of the -json report.
+type quantileSet struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// quantileSetOf summarizes samples; ok is false with no samples.
+func quantileSetOf(vs []float64) (quantileSet, bool) {
+	if len(vs) == 0 {
+		return quantileSet{}, false
+	}
+	return quantileSet{
+		P50: stats.Quantile(vs, 0.50),
+		P90: stats.Quantile(vs, 0.90),
+		P95: stats.Quantile(vs, 0.95),
+		P99: stats.Quantile(vs, 0.99),
+		Max: stats.Quantile(vs, 1.0),
+	}, true
+}
+
+// report is the machine-readable run summary emitted by -json and
+// consumed by `benchjson -serve` to maintain BENCH_serve.json.
+type report struct {
+	Target          string       `json:"target"`
+	Mode            string       `json:"mode"`
+	Concurrency     int          `json:"concurrency"`
+	Requests        int          `json:"requests"`
+	Seconds         float64      `json:"seconds"`
+	ReqPerSec       float64      `json:"req_per_sec"`
+	Status2xx       int          `json:"status_2xx"`
+	Status429       int          `json:"status_429"`
+	Status4xx       int          `json:"status_4xx"`
+	Status5xx       int          `json:"status_5xx"`
+	TransportErrors int          `json:"transport_errors"`
+	LatencySeconds  *quantileSet `json:"latency_seconds,omitempty"`
+	// QueueSeconds and ServiceSeconds split the round trip using the
+	// X-Queue-Seconds / X-Service-Seconds headers pftkd echoes; absent
+	// when the server does not report them.
+	QueueSeconds   *quantileSet `json:"queue_seconds,omitempty"`
+	ServiceSeconds *quantileSet `json:"service_seconds,omitempty"`
 }
 
 // run executes the load test described by args.
@@ -60,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batch    = fs.Int("batch", 1, "points per predict request (1 = single-point body)")
 		simDur   = fs.Float64("simdur", 5, "simulated seconds per simulate job")
 		seeds    = fs.Int("seeds", 0, "distinct simulate seeds before reuse turns runs into cache hits (0 = all distinct)")
+		jsonOut  = fs.Bool("json", false, "write the machine-readable report to stdout instead of the human summary")
 		version  = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -142,8 +191,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 					}
 				}
 				body := requestBody(*mode, i, *batch, *simDur, *seeds)
+				req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				// One ID per request, propagated end to end: pftkd echoes
+				// it in X-Request-Id, tags the request's spans with it,
+				// and stamps it on async job results.
+				req.Header.Set("X-Request-Id", fmt.Sprintf("load-%08d", i))
 				t0 := time.Now()
-				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				if err != nil {
 					ws.errors++
 					continue
@@ -151,6 +210,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 				_, _ = io.Copy(io.Discard, resp.Body)
 				_ = resp.Body.Close()
 				ws.latencies = append(ws.latencies, time.Since(t0).Seconds())
+				if q, ok := headerSeconds(resp, "X-Queue-Seconds"); ok {
+					ws.queues = append(ws.queues, q)
+				}
+				if sv, ok := headerSeconds(resp, "X-Service-Seconds"); ok {
+					ws.services = append(ws.services, sv)
+				}
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					ws.n429++
@@ -170,6 +235,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var agg workerStats
 	for _, ws := range results {
 		agg.latencies = append(agg.latencies, ws.latencies...)
+		agg.queues = append(agg.queues, ws.queues...)
+		agg.services = append(agg.services, ws.services...)
 		agg.n2xx += ws.n2xx
 		agg.n429 += ws.n429
 		agg.n4xx += ws.n4xx
@@ -177,25 +244,72 @@ func run(args []string, stdout, stderr io.Writer) error {
 		agg.errors += ws.errors
 	}
 	n := len(agg.latencies) + agg.errors
-	w.Printf("pftkload: %d requests in %.2fs (%.1f req/s) against %s\n",
-		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), target)
-	w.Printf("  status: 2xx=%d 429=%d other-4xx=%d 5xx=%d transport-errors=%d\n",
-		agg.n2xx, agg.n429, agg.n4xx, agg.n5xx, agg.errors)
-	if len(agg.latencies) > 0 {
-		w.Printf("  latency: p50=%s p90=%s p95=%s p99=%s max=%s\n",
-			ms(stats.Quantile(agg.latencies, 0.50)),
-			ms(stats.Quantile(agg.latencies, 0.90)),
-			ms(stats.Quantile(agg.latencies, 0.95)),
-			ms(stats.Quantile(agg.latencies, 0.99)),
-			ms(stats.Quantile(agg.latencies, 1.0)))
+
+	rep := report{
+		Target:          target,
+		Mode:            *mode,
+		Concurrency:     *conc,
+		Requests:        n,
+		Seconds:         elapsed.Seconds(),
+		ReqPerSec:       float64(n) / elapsed.Seconds(),
+		Status2xx:       agg.n2xx,
+		Status429:       agg.n429,
+		Status4xx:       agg.n4xx,
+		Status5xx:       agg.n5xx,
+		TransportErrors: agg.errors,
 	}
-	if err := w.Err(); err != nil {
-		return err
+	if q, ok := quantileSetOf(agg.latencies); ok {
+		rep.LatencySeconds = &q
+	}
+	if q, ok := quantileSetOf(agg.queues); ok {
+		rep.QueueSeconds = &q
+	}
+	if q, ok := quantileSetOf(agg.services); ok {
+		rep.ServiceSeconds = &q
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		w.Printf("pftkload: %d requests in %.2fs (%.1f req/s) against %s\n",
+			n, rep.Seconds, rep.ReqPerSec, target)
+		w.Printf("  status: 2xx=%d 429=%d other-4xx=%d 5xx=%d transport-errors=%d\n",
+			agg.n2xx, agg.n429, agg.n4xx, agg.n5xx, agg.errors)
+		if q := rep.LatencySeconds; q != nil {
+			w.Printf("  latency: p50=%s p90=%s p95=%s p99=%s max=%s\n",
+				ms(q.P50), ms(q.P90), ms(q.P95), ms(q.P99), ms(q.Max))
+		}
+		if q := rep.QueueSeconds; q != nil {
+			w.Printf("  queue-wait: p50=%s p99=%s max=%s\n", ms(q.P50), ms(q.P99), ms(q.Max))
+		}
+		if q := rep.ServiceSeconds; q != nil {
+			w.Printf("  service: p50=%s p99=%s max=%s\n", ms(q.P50), ms(q.P99), ms(q.Max))
+		}
+		if err := w.Err(); err != nil {
+			return err
+		}
 	}
 	if agg.n2xx == 0 {
 		return fmt.Errorf("no successful responses out of %d requests", n)
 	}
 	return nil
+}
+
+// headerSeconds parses a float-seconds response header.
+func headerSeconds(resp *http.Response, name string) (float64, bool) {
+	v := resp.Header.Get(name)
+	if v == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
 }
 
 // ms renders a latency in seconds as a human-readable duration.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pftk/internal/serve"
+	"pftk/internal/tracez"
 )
 
 // TestFlagValidation rejects non-positive counts, rates and durations.
@@ -125,5 +126,57 @@ func TestLoadLoopSimulateMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "6 requests") {
 		t.Errorf("report missing request count:\n%s", out.String())
+	}
+}
+
+// TestJSONReportAndRequestIDPropagation drives a traced pftkd handler
+// with -json and proves the whole loop: the generator's X-Request-Id
+// reaches the server's spans, the server's queue/service split comes
+// back in the report, and the report is machine-readable.
+func TestJSONReportAndRequestIDPropagation(t *testing.T) {
+	tr := tracez.New(tracez.Options{})
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 64, Tracer: tr})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-mode", "predict", "-c", "2", "-n", "10", "-json"}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 10 || rep.Status2xx != 10 {
+		t.Fatalf("report counts = %+v, want 10 requests all 2xx", rep)
+	}
+	if rep.ReqPerSec <= 0 || rep.LatencySeconds == nil {
+		t.Fatalf("report missing rate or latency: %+v", rep)
+	}
+	if rep.QueueSeconds == nil || rep.ServiceSeconds == nil {
+		t.Fatalf("report missing queue/service split (headers not echoed?): %+v", rep)
+	}
+
+	// Every root span must carry a load-generator request ID.
+	roots := 0
+	for _, rec := range tr.Snapshot() {
+		if rec.Parent != 0 || rec.Name == "workpool.wait" || rec.Name == "workpool.service" {
+			continue
+		}
+		roots++
+		found := false
+		for _, a := range rec.Attrs {
+			if a.Key == "request_id" && strings.HasPrefix(a.Value, "load-") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("root span %q lacks a load- request_id attr: %v", rec.Name, rec.Attrs)
+		}
+	}
+	if roots != 10 {
+		t.Errorf("traced %d root spans, want 10", roots)
 	}
 }

@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		scnFile = fs.String("scenario", "", "JSON scenario file scheduling path changes and faults over the run")
 		out     = fs.String("o", "", "output trace file (default stdout summary only)")
 		format  = fs.String("format", "binary", "trace format: binary, jsonl or tcpdump")
+		flight  = fs.Int("flight", 0, "attach a flight recorder retaining the last N engine events, dumped to stderr if the run panics (0 = off)")
 		debug   = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. :0) while running")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = fs.String("memprofile", "", "write a heap (allocs) profile to this file after the run")
@@ -95,8 +96,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	var phases []pftk.PhaseStat
-	res := pftk.Sim(
+	opts := []pftk.SimOption{
 		pftk.WithPath(*rtt),
 		pftk.WithBurstLoss(*loss, *burst),
 		pftk.WithWindow(*wm),
@@ -105,8 +105,22 @@ func run(args []string, stdout io.Writer) (err error) {
 		pftk.WithSeed(*seed),
 		pftk.WithOS(*variant),
 		pftk.WithScenario(sc),
-		pftk.WithPhaseStats(&phases),
-	)
+	}
+	var phases []pftk.PhaseStat
+	opts = append(opts, pftk.WithPhaseStats(&phases))
+	if *flight > 0 {
+		// The engine black box: on a panic, dump the last engine
+		// operations before re-raising, then crash as before.
+		rec := pftk.NewFlightRecorder(*flight)
+		opts = append(opts, pftk.WithFlightRecorder(rec))
+		defer func() {
+			if p := recover(); p != nil {
+				_, _ = fmt.Fprint(os.Stderr, rec.String())
+				panic(p)
+			}
+		}()
+	}
+	res := pftk.Sim(opts...)
 
 	w := cli.NewWriter(stdout)
 	w.Printf("simulated %.0f s: %s\n", *dur, res)

@@ -431,6 +431,81 @@ func wrongAnalyzer(a, b float64) bool {
 	return a == b //pftklint:ignore errdrop fixture: names the wrong analyzer
 }
 `,
+
+	// A miniature tracez so the spanend fixture type-checks without
+	// importing the real module: the analyzer matches by package name
+	// and the Span type, not the import path.
+	"tracez/tracez.go": `package tracez
+
+type Tracer struct{}
+
+type Span struct{ tr *Tracer }
+
+func (t *Tracer) StartRoot(name string) Span               { return Span{tr: t} }
+func (t *Tracer) StartRootAt(name string, at float64) Span { return Span{tr: t} }
+func (sp *Span) StartChild(name string) Span               { return Span{tr: sp.tr} }
+func (sp *Span) SetAttr(k, v string)                       {}
+func (sp *Span) End()                                      {}
+`,
+
+	"spanbad/spanbad.go": `package spanbad
+
+import "fixture/tracez"
+
+func discarded(tr *tracez.Tracer) {
+	tr.StartRoot("x") // want spanend (result discarded)
+}
+
+func blanked(tr *tracez.Tracer) {
+	_ = tr.StartRoot("x") // want spanend (assigned to _)
+}
+
+func leaked(tr *tracez.Tracer) {
+	sp := tr.StartRoot("x") // want spanend (never ended)
+	sp.SetAttr("k", "v")
+}
+
+func missedReturn(tr *tracez.Tracer, fail bool) error {
+	sp := tr.StartRoot("x")
+	if fail {
+		return nil // want spanend (return before End)
+	}
+	sp.End()
+	return nil
+}
+
+func deferred(tr *tracez.Tracer, fail bool) error { // allowed: defer covers all paths
+	sp := tr.StartRoot("x")
+	defer sp.End()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+func straightLine(tr *tracez.Tracer) { // allowed: End before fall-through
+	sp := tr.StartRoot("x")
+	sp.SetAttr("k", "v")
+	sp.End()
+}
+
+func transferred(tr *tracez.Tracer) tracez.Span { // allowed: caller owns it
+	sp := tr.StartRoot("x")
+	return sp
+}
+
+func captured(tr *tracez.Tracer) func() { // allowed: closure owns it
+	sp := tr.StartRoot("x")
+	return func() { sp.End() }
+}
+
+func children(tr *tracez.Tracer) { // allowed: child start is receiver use
+	sp := tr.StartRoot("x")
+	defer sp.End()
+	child := sp.StartChild("y")
+	child.End()
+}
+`,
 }
 
 var (
@@ -682,6 +757,17 @@ func TestJSONTagFixture(t *testing.T) {
 	got := Run([]*Package{pkg}, []*Analyzer{JSONTagAnalyzer})
 	checkDiags(t, got, []expectation{
 		{5, "exported field B has no json tag"},
+	})
+}
+
+func TestSpanEndFixture(t *testing.T) {
+	pkg := fixturePkgs(t)["spanbad"]
+	got := Run([]*Package{pkg}, []*Analyzer{SpanEndAnalyzer})
+	checkDiags(t, got, []expectation{
+		{6, "result of tr.StartRoot is discarded"},
+		{10, "assigned to _"},
+		{14, "started but never ended"},
+		{21, "may not be ended on this return path"},
 	})
 }
 

@@ -29,6 +29,9 @@
 //     directive silently disables its invariant).
 //   - jsontag: structs that JSON-tag some exported fields must tag all
 //     of them — a missing tag silently leaks the Go name on the wire.
+//   - spanend: a tracez span that is started must be ended on every
+//     path (defer v.End(), End before each return, or an explicit
+//     ownership transfer) — an unended span never commits to the ring.
 //
 // A diagnostic can be suppressed at a specific site with a directive
 // comment on, or on the line before, the offending line:
@@ -74,6 +77,7 @@ var Analyzers = []*Analyzer{
 	GuardedByAnalyzer,
 	DirectiveAnalyzer,
 	JSONTagAnalyzer,
+	SpanEndAnalyzer,
 	IgnoreAuditAnalyzer,
 }
 

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEndAnalyzer flags tracez spans that are started but provably never
+// ended. A span that never reaches End never commits to the trace ring,
+// so the request it covered silently vanishes from /debug/tracez — the
+// observability equivalent of a leaked lock.
+//
+// A "start" is a call to StartRoot, StartRootAt, StartChild or
+// StartChildAt whose result is the Span type of a package named tracez.
+// For each start in a function the analyzer requires one of:
+//
+//   - the result is kept and `defer v.End()` appears in the same
+//     function (the idiomatic form: ends on every path including
+//     panics), or
+//   - a plain `v.End()` call appears before the function's end and
+//     before every return reachable after the start (checked lexically,
+//     which matches the straight-line handler code the tracer is used
+//     in), or
+//   - ownership is transferred: the span is returned, passed to another
+//     call, stored, aliased, or captured by a closure. The new owner is
+//     responsible for ending it (its function body is analyzed
+//     separately).
+//
+// Discarding the result outright — `tr.StartRoot("x")` as a statement,
+// or assigning it to _ — is always a finding: nothing can ever end that
+// span.
+var SpanEndAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags tracez spans that are started but not ended on every path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanEnds(p, info, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Nested literals are visited here in their own right;
+				// checkSpanEnds skips them when analyzing the enclosing
+				// body so each function is checked exactly once.
+				checkSpanEnds(p, info, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// spanUse accumulates what one function body does with one span
+// variable after starting it.
+type spanUse struct {
+	obj      types.Object
+	startPos token.Pos   // the Start call, for reporting
+	deferred bool        // defer v.End() guarantees every path
+	escaped  bool        // ownership left this function
+	ends     []token.Pos // plain v.End() calls, lexical positions
+}
+
+// checkSpanEnds analyzes one function body (excluding nested function
+// literals, which are analyzed separately).
+func checkSpanEnds(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	uses := findSpanStarts(p, info, body)
+	if len(uses) == 0 {
+		return
+	}
+	parents := parentMap(body)
+	for _, u := range uses {
+		classifySpanUses(info, body, parents, u)
+	}
+	for _, u := range uses {
+		if u.deferred || u.escaped {
+			continue
+		}
+		if len(u.ends) == 0 {
+			p.Reportf(u.startPos, "span %s is started but never ended; add defer %s.End()", u.obj.Name(), u.obj.Name())
+			continue
+		}
+		for _, ret := range returnsIn(body) {
+			if ret.Pos() <= u.startPos {
+				continue
+			}
+			if !endedBefore(u, ret.Pos()) {
+				p.Reportf(ret.Pos(), "span %s may not be ended on this return path; use defer %s.End()", u.obj.Name(), u.obj.Name())
+			}
+		}
+	}
+}
+
+// findSpanStarts reports discarded span starts immediately and returns
+// the spans kept in local variables for the path check.
+func findSpanStarts(p *Pass, info *types.Info, body *ast.BlockStmt) []*spanUse {
+	var uses []*spanUse
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isSpanStart(info, call) {
+				p.Reportf(call.Pos(), "result of %s is discarded; the span it starts can never be ended", callName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(info, call) {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return // sp.field = ...: stored, owner elsewhere
+			}
+			if id.Name == "_" {
+				p.Reportf(call.Pos(), "result of %s is assigned to _; the span it starts can never be ended", callName(call))
+				return
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				uses = append(uses, &spanUse{obj: obj, startPos: call.Pos()})
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != 1 || len(n.Values) != 1 {
+				return
+			}
+			call, ok := n.Values[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(info, call) {
+				return
+			}
+			if obj := info.Defs[n.Names[0]]; obj != nil {
+				uses = append(uses, &spanUse{obj: obj, startPos: call.Pos()})
+			}
+		}
+	})
+	return uses
+}
+
+// classifySpanUses walks every reference to u.obj in the body and sorts
+// it into deferred-End, plain End, benign receiver use, or escape.
+func classifySpanUses(info *types.Info, body *ast.BlockStmt, parents map[ast.Node]ast.Node, u *spanUse) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != u.obj {
+			return true
+		}
+		if withinFuncLit(parents, body, id) {
+			// Captured by a closure: the closure owns the span now and
+			// is analyzed as its own function.
+			u.escaped = true
+			return true
+		}
+		sel, ok := parents[id].(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			u.escaped = true // returned, passed, stored, aliased, &taken
+			return true
+		}
+		call, ok := parents[sel].(*ast.CallExpr)
+		if !ok || call.Fun != sel {
+			u.escaped = true // method value sp.End passed around
+			return true
+		}
+		if sel.Sel.Name != "End" {
+			return true // sp.SetAttr(...), sp.StartChild(...): receiver use
+		}
+		if _, ok := parents[call].(*ast.DeferStmt); ok {
+			u.deferred = true
+			return true
+		}
+		u.ends = append(u.ends, call.Pos())
+		return true
+	})
+}
+
+// endedBefore reports whether a plain End call lies between the start
+// and pos.
+func endedBefore(u *spanUse, pos token.Pos) bool {
+	for _, e := range u.ends {
+		if e > u.startPos && e < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsIn collects the return statements of the body, excluding those
+// inside nested function literals.
+func returnsIn(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var rets []*ast.ReturnStmt
+	inspectShallow(body, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, r)
+		}
+	})
+	return rets
+}
+
+// inspectShallow walks the body like ast.Inspect but does not descend
+// into nested function literals.
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// parentMap records the immediate parent of every node under body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// withinFuncLit reports whether the node sits inside a function literal
+// nested in body.
+func withinFuncLit(parents map[ast.Node]ast.Node, body *ast.BlockStmt, n ast.Node) bool {
+	for cur := parents[n]; cur != nil && cur != body; cur = parents[cur] {
+		if _, ok := cur.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isSpanStart reports whether the call starts a tracez span: a method
+// named StartRoot/StartRootAt/StartChild/StartChildAt whose result is
+// the Span type of a package named tracez.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "StartRoot", "StartRootAt", "StartChild", "StartChildAt":
+	default:
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Span" && named.Obj().Pkg().Name() == "tracez"
+}

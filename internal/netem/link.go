@@ -219,6 +219,9 @@ func (l *Link) Send(payload any, deliver func(any)) {
 	if l.cfg.Loss != nil && l.cfg.Loss.Drop(now) {
 		l.stats.RandomDrops++
 		l.cfg.Metrics.LossDrops.Inc()
+		if f := l.eng.FlightRecorder(); f != nil {
+			f.Note(sim.FlightDrop, now, now, 0, "loss")
+		}
 		return
 	}
 	l.admit(payload, deliver)
@@ -237,6 +240,9 @@ func (l *Link) admit(payload any, deliver func(any)) {
 		if l.queue.n >= l.cfg.QueueCap {
 			l.stats.QueueDrops++
 			l.cfg.Metrics.FIFODrops.Inc()
+			if f := l.eng.FlightRecorder(); f != nil {
+				f.Note(sim.FlightDrop, l.eng.Now(), l.eng.Now(), 0, "fifo")
+			}
 			return
 		}
 		l.queue.push(queued{payload, deliver})

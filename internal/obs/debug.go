@@ -9,6 +9,12 @@ import (
 	"time"
 )
 
+// Mount is one extra (pattern, handler) pair for ServeDebug.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts a background HTTP server on addr (":0" picks a free
 // port) exposing the standard Go diagnostics for profiling long
 // campaigns:
@@ -21,12 +27,21 @@ import (
 // the remainder of the process; campaign tools print the address and let
 // process exit tear it down. reg may be nil, in which case /debug/metrics
 // serves an empty snapshot.
-func ServeDebug(addr string, reg *Registry) (string, error) {
+//
+// Extra mounts hang additional handlers off the same server (pftkd adds
+// /debug/tracez); a nil Handler is skipped, so callers can mount
+// conditionally without branching.
+func ServeDebug(addr string, reg *Registry, extra ...Mount) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	mux := http.NewServeMux()
+	for _, m := range extra {
+		if m.Handler != nil {
+			mux.Handle(m.Pattern, m.Handler)
+		}
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

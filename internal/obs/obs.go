@@ -160,6 +160,72 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation within the bucket holding the target rank — the same
+// estimate a Prometheus histogram_quantile gives. It returns 0 with no
+// samples or on a nil handle, and the last finite bound when the rank
+// falls in the overflow bucket (an unbounded bucket cannot be
+// interpolated).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// quantileFromBuckets interpolates the q-quantile from bucket counts;
+// counts has one entry per bound plus a final overflow bucket. Shared
+// by Histogram.Quantile and Snapshot so live queries and exports agree.
+func quantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no finite upper edge to interpolate
+			// toward; report the largest bound we can still vouch for.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if lo > hi { // negative-bound histograms: bucket 0 starts unbounded
+			lo = hi
+		}
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Registry holds named metrics. The zero value is not usable; call New.
 // A nil *Registry is the disabled registry: its constructors return nil
 // no-op handles and its Snapshot is empty, so "metrics off" needs no
@@ -254,6 +320,13 @@ type HistogramValue struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	// P50, P90 and P99 are bucket-interpolated quantile estimates (see
+	// Histogram.Quantile), precomputed at snapshot time so /v1/metrics
+	// consumers and the JSONL export get latency percentiles without
+	// re-deriving them from the buckets.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics, suitable for
@@ -305,6 +378,9 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range h.counts {
 				hv.Counts[i] = h.counts[i].Load()
 			}
+			hv.P50 = quantileFromBuckets(hv.Bounds, hv.Counts, 0.50)
+			hv.P90 = quantileFromBuckets(hv.Bounds, hv.Counts, 0.90)
+			hv.P99 = quantileFromBuckets(hv.Bounds, hv.Counts, 0.99)
 			s.Histograms[name] = hv
 		}
 	}

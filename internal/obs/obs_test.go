@@ -193,3 +193,74 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 		t.Error("snapshot should not be empty")
 	}
 }
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []float64{1, 2, 4, 8})
+	// 100 samples uniform in (0, 1]: every sample lands in bucket 0.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	// Rank interpolates linearly across bucket 0's [0, 1) range.
+	if got := h.Quantile(0.50); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("p50 = %g, want ~0.5", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-0.99) > 0.01 {
+		t.Errorf("p99 = %g, want ~0.99", got)
+	}
+	// Quantiles are monotone in q.
+	if !(h.Quantile(0.1) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(0.9)) {
+		t.Error("quantiles not monotone in q")
+	}
+
+	// A sample past the last bound pins high quantiles to the last
+	// finite bound rather than inventing a value.
+	h2 := r.Histogram("q2", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow-bucket quantile = %g, want last bound 2", got)
+	}
+
+	// Nil and empty handles report zero.
+	var hn *Histogram
+	if hn.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+	if h2f := r.Histogram("q3", []float64{1}); h2f.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestSnapshotCarriesHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // bucket (0.001, 0.01]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // bucket (0.1, 1]
+	}
+	hv := r.Snapshot().Histograms["lat"]
+	if !(hv.P50 > 0.001 && hv.P50 <= 0.01) {
+		t.Errorf("snapshot p50 = %g, want within (0.001, 0.01]", hv.P50)
+	}
+	if !(hv.P99 > 0.1 && hv.P99 <= 1) {
+		t.Errorf("snapshot p99 = %g, want within (0.1, 1]", hv.P99)
+	}
+	if hv.P50 != h.Quantile(0.50) {
+		t.Errorf("snapshot p50 %g disagrees with live Quantile %g", hv.P50, h.Quantile(0.50))
+	}
+	// The quantiles survive the JSON round trip of /v1/metrics and the
+	// JSONL export.
+	data, err := json.Marshal(hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramValue
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.P50 != hv.P50 || back.P90 != hv.P90 || back.P99 != hv.P99 {
+		t.Errorf("quantiles lost in JSON round trip: %+v vs %+v", back, hv)
+	}
+}

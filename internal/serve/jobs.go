@@ -26,6 +26,10 @@ type Job struct {
 	// Cached reports that the result was served from the LRU cache
 	// without re-running the simulation.
 	Cached bool `json:"cached,omitempty"`
+	// RequestID echoes the X-Request-Id of the submitting request, so a
+	// polled job result is traceable back to the submission's spans and
+	// access-log line.
+	RequestID string `json:"request_id,omitempty"`
 	// Request echoes the normalized request being simulated.
 	Request SimulateRequest `json:"request"`
 	// Result is present once Status is done.
@@ -57,13 +61,13 @@ func newJobStore(max int) *jobStore {
 	return &jobStore{max: max, jobs: make(map[string]*Job)}
 }
 
-// create registers a new queued job for req and returns a snapshot of
-// it.
-func (s *jobStore) create(req SimulateRequest) Job {
+// create registers a new queued job for req, tagged with the
+// submitting request's ID, and returns a snapshot of it.
+func (s *jobStore) create(req SimulateRequest, requestID string) Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	j := &Job{ID: fmt.Sprintf("job-%08d", s.seq), Status: JobQueued, Request: req}
+	j := &Job{ID: fmt.Sprintf("job-%08d", s.seq), Status: JobQueued, Request: req, RequestID: requestID}
 	s.jobs[j.ID] = j
 	return *j
 }

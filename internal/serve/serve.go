@@ -24,13 +24,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pftk/internal/obs"
+	"pftk/internal/tracez"
 	"pftk/internal/workpool"
 )
 
@@ -53,6 +57,20 @@ type Config struct {
 	// Registry receives service metrics; nil disables them at zero
 	// cost (the obs nil-handle convention).
 	Registry *obs.Registry
+	// Tracer records request-scoped spans (root per request, children
+	// for admission, cache, queue-wait, eval, encode); nil disables
+	// tracing at zero cost (the tracez nil-handle convention). The same
+	// tracer is installed on the worker pool for per-job wait/service
+	// spans.
+	Tracer *tracez.Tracer
+	// AccessLog receives one structured line per request; nil disables
+	// access logging. Writes are serialized by the server.
+	AccessLog io.Writer
+	// FlightEvents sizes the per-simulation flight recorder ring (0
+	// selects the default capacity, negative disables recording). On a
+	// simulation panic the recorder dump is written to AccessLog and
+	// the job fails instead of crashing a worker.
+	FlightEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +111,12 @@ type Server struct {
 	jobs   *jobStore
 	mux    *http.ServeMux
 	closed atomic.Bool
+
+	// reqSeq numbers requests that arrive without an X-Request-Id.
+	reqSeq atomic.Uint64
+	// logMu serializes access-log lines; io.Writer is not assumed
+	// concurrency-safe.
+	logMu sync.Mutex
 
 	// Metric handles; all nil (free no-ops) without a registry.
 	mRequests    *obs.Counter
@@ -135,6 +159,12 @@ func New(cfg Config) *Server {
 		mJobsDone:    reg.Counter("serve.jobs.completed"),
 		mJobsFailed:  reg.Counter("serve.jobs.failed"),
 	}
+	s.pool.SetTracer(cfg.Tracer)
+	if cfg.Tracer != nil {
+		// The span view rides on the service address, so one port serves
+		// both traffic and its traces.
+		s.mux.Handle("GET /debug/tracez", cfg.Tracer.Handler())
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -162,15 +192,51 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// maxRequestIDLen bounds a caller-supplied X-Request-Id; longer values
+// are replaced with a server-assigned ID so logs and spans stay
+// bounded.
+const maxRequestIDLen = 128
+
+// requestID returns the caller's X-Request-Id when usable, or assigns
+// the next server-generated ID.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= maxRequestIDLen {
+		return id
+	}
+	return fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+}
+
+// routeName maps a request to its bounded span name: the method plus
+// the route pattern, with path parameters collapsed so span names stay
+// low-cardinality.
+func routeName(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs/{id}"
+	}
+	return r.Method + " " + path
+}
+
 // ServeHTTP implements http.Handler with request accounting around the
-// route table.
+// route table: it assigns (or propagates) the X-Request-Id, opens the
+// request's root span, and emits one access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mRequests.Inc()
 	s.mQueueDepth.Set(float64(s.pool.QueueDepth()))
+
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+	root := s.cfg.Tracer.StartRoot(routeName(r))
+	root.SetAttr("request_id", reqID)
+	r = r.WithContext(tracez.NewContext(r.Context(), &root))
+	r.Header.Set("X-Request-Id", reqID)
+
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
-	s.mLatency.Observe(time.Since(start).Seconds())
+
+	elapsed := time.Since(start).Seconds()
+	s.mLatency.Observe(elapsed)
 	switch {
 	case sw.code >= 500:
 		s.m5xx.Inc()
@@ -179,6 +245,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.m2xx.Inc()
 	}
+	root.SetAttr("status", strconv.Itoa(sw.code))
+	if sw.code >= 400 {
+		root.SetError(http.StatusText(sw.code))
+	}
+	root.End()
+	s.accessLog(r, sw, reqID, elapsed, &root)
+}
+
+// accessLog writes the request's structured log line, if logging is
+// configured. The queue/service split is read back from the response
+// headers the handlers set, so the log agrees with what the client saw.
+func (s *Server) accessLog(r *http.Request, sw *statusWriter, reqID string, elapsed float64, root *tracez.Span) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	var trace string
+	if root.Enabled() {
+		trace = fmt.Sprintf(" trace=%016x", root.Trace())
+	}
+	var split string
+	if q := sw.Header().Get("X-Queue-Seconds"); q != "" {
+		split = fmt.Sprintf(" queue_seconds=%s service_seconds=%s", q, sw.Header().Get("X-Service-Seconds"))
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_, _ = fmt.Fprintf(s.cfg.AccessLog, "request_id=%s method=%s path=%s status=%d duration_seconds=%.6f%s%s\n",
+		reqID, r.Method, r.URL.Path, sw.code, elapsed, split, trace)
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -258,6 +351,7 @@ type BatchResponse struct {
 // goroutine only parses, consults the cache, and waits — so prediction
 // load is subject to the same admission control as simulations.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	root := tracez.FromContext(r.Context())
 	var payload predictPayload
 	if err := decodeStrict(r, &payload); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -297,6 +391,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Serve what the cache already knows; compute only the misses.
 	results := make([]PredictResponse, len(reqs))
 	var misses []int
+	cacheSp := root.StartChild("cache")
 	for i, key := range keys {
 		if v, ok := s.cache.get(key); ok {
 			s.mCacheHits.Inc()
@@ -306,31 +401,58 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.mCacheMisses.Inc()
 		misses = append(misses, i)
 	}
+	cacheSp.SetAttr("hits", strconv.Itoa(len(reqs)-len(misses)))
+	cacheSp.SetAttr("misses", strconv.Itoa(len(misses)))
+	cacheSp.End()
+
+	// The queue-wait/service split is measured on the wall clock and
+	// echoed in response headers, so load generators can separate time
+	// in the admission queue from model evaluation without a tracer.
+	var queueWait, service time.Duration
 	if len(misses) > 0 {
 		var jobErr error
 		done := make(chan struct{})
+		submitted := time.Now()
+		submittedTrace := s.cfg.Tracer.NowSeconds()
+		adm := root.StartChild("admission")
 		accepted := s.pool.TrySubmit(func() {
 			defer close(done)
+			picked := time.Now()
+			queueWait = picked.Sub(submitted)
+			qsp := root.StartChildAt("queue-wait", submittedTrace)
+			qsp.End()
+			esp := root.StartChild("eval")
+			defer esp.End()
 			for _, i := range misses {
 				resp, err := predict(reqs[i])
 				if err != nil {
 					jobErr = fmt.Errorf("request %d: %w", i, err)
+					esp.SetError(jobErr.Error())
+					service = time.Since(picked)
 					return
 				}
 				results[i] = resp
 				s.cache.put(keys[i], resp)
 			}
+			service = time.Since(picked)
 		})
 		if !accepted {
+			adm.SetError("queue full")
+			adm.End()
 			s.rejectOverload(w)
 			return
 		}
+		adm.End()
 		<-done
 		if jobErr != nil {
 			writeError(w, http.StatusBadRequest, "%v", jobErr)
 			return
 		}
 	}
+	w.Header().Set("X-Queue-Seconds", fmt.Sprintf("%.6f", queueWait.Seconds()))
+	w.Header().Set("X-Service-Seconds", fmt.Sprintf("%.6f", service.Seconds()))
+	enc := root.StartChild("encode")
+	defer enc.End()
 	if batch {
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 		return
@@ -342,6 +464,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // immediately (200, status done, cached true); misses are queued on the
 // worker pool (202) and polled via /v1/jobs/{id}; a full queue is 429.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	root := tracez.FromContext(r.Context())
+	reqID := r.Header.Get("X-Request-Id")
 	var req SimulateRequest
 	if err := decodeStrict(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -353,31 +477,69 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canonicalKey("simulate", req)
+	cacheSp := root.StartChild("cache")
 	if v, ok := s.cache.get(key); ok {
 		s.mCacheHits.Inc()
-		job := s.jobs.create(req)
+		cacheSp.SetAttr("hit", "true")
+		cacheSp.End()
+		job := s.jobs.create(req, reqID)
 		s.jobs.finish(job.ID, v.(SimulateResult), true)
 		job, _ = s.jobs.get(job.ID)
 		writeJSON(w, http.StatusOK, job)
 		return
 	}
 	s.mCacheMisses.Inc()
-	job := s.jobs.create(req)
+	cacheSp.SetAttr("hit", "false")
+	cacheSp.End()
+	job := s.jobs.create(req, reqID)
+	submittedTrace := s.cfg.Tracer.NowSeconds()
+	adm := root.StartChild("admission")
+	// The job outlives the handler: its spans hang off the (by then
+	// ended) root, which is valid — the child records still carry the
+	// request's trace ID, so /debug/tracez ties the async work back to
+	// the submission.
+	traceRef := *root
 	accepted := s.pool.TrySubmit(func() {
 		s.jobs.setRunning(job.ID)
-		res := runSimulation(req)
+		qsp := traceRef.StartChildAt("queue-wait", submittedTrace)
+		qsp.End()
+		esp := traceRef.StartChild("eval")
+		res, dump, err := runSimulationGuarded(req, s.cfg.FlightEvents)
+		if err != nil {
+			esp.SetError(err.Error())
+			esp.End()
+			s.jobs.fail(job.ID, err.Error())
+			s.mJobsFailed.Inc()
+			s.logSimFailure(job.ID, err, dump)
+			return
+		}
+		esp.End()
 		s.cache.put(key, res)
 		s.jobs.finish(job.ID, res, false)
 		s.mJobsDone.Inc()
 	})
 	if !accepted {
+		adm.SetError("queue full")
+		adm.End()
 		s.jobs.fail(job.ID, "rejected: queue full")
 		s.mJobsFailed.Inc()
 		s.rejectOverload(w)
 		return
 	}
+	adm.End()
 	s.mJobsSub.Inc()
 	writeJSON(w, http.StatusAccepted, job)
+}
+
+// logSimFailure records a failed (typically panicked) simulation with
+// its flight-recorder dump — the engine's black box for post-mortems.
+func (s *Server) logSimFailure(jobID string, err error, dump string) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_, _ = fmt.Fprintf(s.cfg.AccessLog, "job=%s simulation_failed error=%q\n%s", jobID, err, dump)
 }
 
 // handleJob serves one job's current state.

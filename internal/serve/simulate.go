@@ -151,12 +151,36 @@ type SimulateResult struct {
 	Phases []scenario.PhaseStat `json:"phases,omitempty"`
 }
 
+// runSimulationGuarded runs one simulation with a flight recorder
+// attached (flightEvents sizes its ring; 0 selects the default,
+// negative disables recording) and converts a panic — a scenario fault
+// or an engine invariant failure — into an error plus the recorder's
+// dump, so one poisoned request fails its job instead of killing a
+// worker goroutine.
+func runSimulationGuarded(r SimulateRequest, flightEvents int) (res SimulateResult, dump string, err error) {
+	var flight *pftk.FlightRecorder
+	var opts []pftk.SimOption
+	if flightEvents >= 0 {
+		flight = pftk.NewFlightRecorder(flightEvents)
+		opts = append(opts, pftk.WithFlightRecorder(flight))
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			dump = flight.String()
+			err = fmt.Errorf("simulation panicked: %v", p)
+		}
+	}()
+	res = runSimulation(r, opts...)
+	return res, "", nil
+}
+
 // runSimulation executes a normalized, validated request. It is a pure
 // function of the request — same input, same output — which the result
-// cache relies on.
-func runSimulation(r SimulateRequest) SimulateResult {
+// cache relies on. Extra options (a flight recorder) must not change
+// the simulated outcome.
+func runSimulation(r SimulateRequest, extra ...pftk.SimOption) SimulateResult {
 	var phases []pftk.PhaseStat
-	res := pftk.Sim(
+	opts := []pftk.SimOption{
 		pftk.WithPath(r.RTT),
 		pftk.WithBurstLoss(r.LossRate, r.BurstDur),
 		pftk.WithWindow(r.Wm),
@@ -167,7 +191,9 @@ func runSimulation(r SimulateRequest) SimulateResult {
 		pftk.WithDelayedACKs(r.AckEvery),
 		pftk.WithScenario(r.Scenario),
 		pftk.WithPhaseStats(&phases),
-	)
+	}
+	opts = append(opts, extra...)
+	res := pftk.Sim(opts...)
 	sum := pftk.Analyze(res.Trace)
 	out := SimulateResult{
 		Duration:           res.Duration,

@@ -103,11 +103,23 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 	hooks   Hooks
+	flight  *FlightRecorder
 }
 
 // SetHooks installs (or, with the zero Hooks, removes) the engine's
 // observability callbacks.
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder. Each schedule, fire and cancel is then noted in the
+// recorder's fixed ring; the hot path pays one nil check when
+// detached.
+func (e *Engine) SetFlightRecorder(f *FlightRecorder) { e.flight = f }
+
+// FlightRecorder returns the attached flight recorder, or nil. Model
+// layers (netem) use it to note their own drop events against the
+// engine clock.
+func (e *Engine) FlightRecorder() *FlightRecorder { return e.flight }
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -194,6 +206,9 @@ func (e *Engine) schedule(at float64, fn func(), argFn func(any), arg any) Event
 	//pftklint:ignore hotalloc heap growth is amortized; capacity tracks the peak queue depth
 	e.heap = append(e.heap, node{at: at, seq: seq, id: id})
 	e.siftUp(len(e.heap) - 1)
+	if e.flight != nil {
+		e.flight.Note(FlightSchedule, e.now, at, seq, "")
+	}
 	if e.hooks.Scheduled != nil {
 		e.hooks.Scheduled(at, len(e.heap))
 	}
@@ -222,6 +237,10 @@ func (e *Engine) Cancel(ev Event) bool {
 	if s.gen != ev.gen || s.heapIdx < 0 {
 		return false
 	}
+	if e.flight != nil {
+		n := e.heap[s.heapIdx]
+		e.flight.Note(FlightCancel, e.now, n.at, n.seq, "")
+	}
 	e.removeAt(int(s.heapIdx))
 	e.recycle(id)
 	if e.hooks.Cancelled != nil {
@@ -247,6 +266,11 @@ func (e *Engine) Step() bool {
 	e.recycle(top.id)
 	e.now = top.at
 	e.fired++
+	// Noted before the callback runs: a panicking event leaves its own
+	// fire entry as the newest record in the dump.
+	if e.flight != nil {
+		e.flight.Note(FlightFire, e.now, top.at, top.seq, "")
+	}
 	if fn != nil {
 		fn()
 	} else {

@@ -1,0 +1,29 @@
+package tracez
+
+import "context"
+
+// ctxKey is the private context key for the active span.
+type ctxKey struct{}
+
+// noop is the span FromContext hands out when no span is attached: a
+// disabled span whose methods all no-op. It is shared — safe because
+// every method on a disabled span returns before touching state.
+var noop = &Span{}
+
+// NewContext returns ctx with sp attached as the active span. The span
+// pointer must outlive every FromContext use, which holds for the
+// request-scoped pattern (root span lives on the handler frame, child
+// spans are opened and ended within it or by jobs it submitted).
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or the shared disabled span when
+// none is attached — never nil, so callers chain StartChild without a
+// presence check.
+func FromContext(ctx context.Context) *Span {
+	if sp, ok := ctx.Value(ctxKey{}).(*Span); ok && sp != nil {
+		return sp
+	}
+	return noop
+}

@@ -1,0 +1,44 @@
+package tracez
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL writes every retained record as one JSON object per line,
+// sorted by (Start, Span) — the same order as Snapshot, so a JSONL dump
+// of a deterministic-clock tracer is byte-reproducible.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range t.Snapshot() {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL stream back into records, for tests and
+// offline span tooling.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var out []Record
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}

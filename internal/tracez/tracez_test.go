@@ -1,0 +1,244 @@
+package tracez
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// simClock returns a deterministic clock advancing 1 ms per reading.
+func simClock() func() float64 {
+	t := 0.0
+	return func() float64 {
+		t += 0.001
+		return t
+	}
+}
+
+func TestDisabledTracerIsFreeAndSilent(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("op")
+	if sp.Enabled() {
+		t.Fatal("span from nil tracer reports enabled")
+	}
+	child := sp.StartChild("child")
+	child.SetAttr("k", "v")
+	child.SetError("boom")
+	child.End()
+	sp.End()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer reports state: len=%d total=%d dropped=%d", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	if got := tr.NowSeconds(); got != 0 {
+		t.Fatalf("nil tracer NowSeconds = %g, want 0", got)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.StartRoot("op")
+		c := sp.StartChild("child")
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f objects per span pair, want 0", allocs)
+	}
+}
+
+func TestSpanLifecycleRecords(t *testing.T) {
+	tr := New(Options{Now: simClock()})
+	root := tr.StartRoot("request")
+	root.SetAttr("request_id", "req-1")
+	child := root.StartChild("eval")
+	child.SetError("bad point")
+	child.End()
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Sorted by start: root started first.
+	if recs[0].Name != "request" || recs[1].Name != "eval" {
+		t.Fatalf("unexpected order: %q, %q", recs[0].Name, recs[1].Name)
+	}
+	r, c := recs[0], recs[1]
+	if r.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.Span || c.Trace != r.Trace {
+		t.Errorf("child (trace %d parent %d) not under root (trace %d span %d)", c.Trace, c.Parent, r.Trace, r.Span)
+	}
+	if c.Err != "bad point" {
+		t.Errorf("child err = %q", c.Err)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != (Attr{"request_id", "req-1"}) {
+		t.Errorf("root attrs = %v", r.Attrs)
+	}
+	if !(c.Duration > 0) || !(r.Duration > c.Duration) {
+		t.Errorf("durations root=%g child=%g want root > child > 0", r.Duration, c.Duration)
+	}
+}
+
+func TestEndIsExactlyOnce(t *testing.T) {
+	tr := New(Options{Now: simClock()})
+	sp := tr.StartRoot("op")
+	sp.End()
+	sp.End()
+	sp.SetAttr("late", "ignored")
+	sp.SetError("late")
+	if n := tr.Len(); n != 1 {
+		t.Fatalf("double End committed %d records, want 1", n)
+	}
+	rec := tr.Snapshot()[0]
+	if len(rec.Attrs) != 0 || rec.Err != "" {
+		t.Fatalf("post-End mutation leaked into record: %+v", rec)
+	}
+}
+
+func TestAttrCapDropsAndCounts(t *testing.T) {
+	tr := New(Options{Now: simClock()})
+	sp := tr.StartRoot("op")
+	for i := 0; i < maxSpanAttrs+3; i++ {
+		sp.SetAttr(fmt.Sprintf("k%d", i), "v")
+	}
+	sp.End()
+	if got := len(tr.Snapshot()[0].Attrs); got != maxSpanAttrs {
+		t.Errorf("retained %d attrs, want %d", got, maxSpanAttrs)
+	}
+	if got := tr.AttrDrops(); got != 3 {
+		t.Errorf("AttrDrops = %d, want 3", got)
+	}
+}
+
+func TestRingOverwritesOldestAndCountsDropped(t *testing.T) {
+	tr := New(Options{Shards: 1, PerShard: 4, Now: simClock()})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartRoot(fmt.Sprintf("op%d", i))
+		sp.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("retained %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped %d, want 6", got)
+	}
+	recs := tr.Snapshot()
+	// The survivors are the newest four, in start order.
+	for i, want := range []string{"op6", "op7", "op8", "op9"} {
+		if recs[i].Name != want {
+			t.Errorf("record %d = %q, want %q", i, recs[i].Name, want)
+		}
+	}
+}
+
+func TestStartRootAtBackdatesQueueWait(t *testing.T) {
+	clock := simClock()
+	tr := New(Options{Now: clock})
+	submitted := tr.NowSeconds()
+	clock() // time passes in the queue
+	clock()
+	sp := tr.StartRootAt("workpool.wait", submitted)
+	sp.End()
+	rec := tr.Snapshot()[0]
+	if !(rec.Duration >= 0.003) {
+		t.Fatalf("backdated span duration %g, want >= 3 clock ticks", rec.Duration)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(Options{Now: simClock()})
+	root := tr.StartRoot("request")
+	ctx := NewContext(context.Background(), &root)
+	got := FromContext(ctx)
+	if got != &root {
+		t.Fatal("FromContext did not return the attached span")
+	}
+	if sp := FromContext(context.Background()); sp == nil || sp.Enabled() {
+		t.Fatal("empty context must yield the shared disabled span")
+	}
+	// The disabled span must be usable without effect.
+	c := FromContext(context.Background()).StartChild("x")
+	c.End()
+	if tr.Len() != 0 {
+		t.Fatal("disabled span committed a record")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(Options{Now: simClock()})
+	a := tr.StartRoot("a")
+	b := a.StartChild("b")
+	b.SetAttr("k", "v")
+	b.End()
+	a.SetError("late")
+	a.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", got)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if len(recs) != len(want) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(recs), len(want))
+	}
+	for i := range recs {
+		if recs[i].Name != want[i].Name || recs[i].Err != want[i].Err || recs[i].Span != want[i].Span {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+// TestShardedRingConcurrentCommits is the race-detector test for the
+// sharded ring: many goroutines start, annotate and end spans
+// concurrently while readers snapshot, total and dump — `go test -race`
+// turns any unsynchronized access into a failure.
+func TestShardedRingConcurrentCommits(t *testing.T) {
+	tr := New(Options{Shards: 4, PerShard: 64})
+	const goroutines = 8
+	const spansPer = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := tr.StartRoot("worker")
+				sp.SetAttr("g", fmt.Sprint(g))
+				child := sp.StartChild("inner")
+				child.End()
+				sp.End()
+			}
+		}(g)
+	}
+	// Concurrent readers exercise every lock path.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Len()
+			_ = tr.Total()
+			_ = tr.Dropped()
+			_ = tr.BuildView(0)
+			_ = tr.WriteJSONL(&bytes.Buffer{})
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := tr.Total(), uint64(goroutines*spansPer*2); got != want {
+		t.Fatalf("committed %d spans, want %d", got, want)
+	}
+	if got := tr.Len(); got != 4*64 {
+		t.Fatalf("retained %d, want full ring %d", got, 4*64)
+	}
+}

@@ -9,6 +9,9 @@ package workpool
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"pftk/internal/tracez"
 )
 
 // Pool runs submitted jobs on a fixed set of worker goroutines fed by a
@@ -17,10 +20,40 @@ type Pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup // live workers
 
+	// tracer, when set, wraps every accepted job with a pair of spans:
+	// "workpool.wait" (submission to worker pickup, backdated so the
+	// span covers the time in the queue) and "workpool.service" (the
+	// job body).
+	tracer atomic.Pointer[tracez.Tracer]
+
 	mu sync.RWMutex // guards closed vs. in-flight submits
 	//pftk:guardedby mu
 	closed  bool
 	pending sync.WaitGroup // accepted but unfinished jobs
+}
+
+// SetTracer installs (or, with nil, removes) the tracer recording
+// per-job queue-wait and service spans. Safe to call concurrently with
+// submissions; jobs already queued keep the tracer they were wrapped
+// with.
+func (p *Pool) SetTracer(tr *tracez.Tracer) { p.tracer.Store(tr) }
+
+// instrument wraps job with the queue-wait and service spans when a
+// tracer is installed. With no tracer the job is returned unchanged, so
+// untraced pools pay one atomic load per submission.
+func (p *Pool) instrument(job func()) func() {
+	tr := p.tracer.Load()
+	if tr == nil {
+		return job
+	}
+	submitted := tr.NowSeconds()
+	return func() {
+		wait := tr.StartRootAt("workpool.wait", submitted)
+		wait.End()
+		sp := tr.StartRoot("workpool.service")
+		defer sp.End()
+		job()
+	}
 }
 
 // New returns a pool of the given number of workers behind a queue
@@ -62,7 +95,7 @@ func (p *Pool) TrySubmit(job func()) bool {
 	// job (and call Done) before the send statement even returns.
 	p.pending.Add(1)
 	select {
-	case p.jobs <- job:
+	case p.jobs <- p.instrument(job):
 		return true
 	default:
 		p.pending.Done()
@@ -84,7 +117,7 @@ func (p *Pool) Submit(job func()) bool {
 		return false
 	}
 	p.pending.Add(1)
-	p.jobs <- job
+	p.jobs <- p.instrument(job)
 	return true
 }
 

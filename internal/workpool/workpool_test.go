@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"pftk/internal/tracez"
 )
 
 func TestRunsEveryJob(t *testing.T) {
@@ -100,5 +102,47 @@ func TestConcurrentSubmitAndClose(t *testing.T) {
 	p.Close()
 	if accepted.Load() != ran.Load() {
 		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}
+
+// TestTracerRecordsWaitAndServiceSpans proves every accepted job gets a
+// queue-wait span (backdated to submission) and a service span, and
+// that an untraced pool records nothing.
+func TestTracerRecordsWaitAndServiceSpans(t *testing.T) {
+	tr := tracez.New(tracez.Options{})
+	p := New(2, 8)
+	p.SetTracer(tr)
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		if !p.Submit(func() {}) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	p.Close()
+	var waits, services int
+	for _, rec := range tr.Snapshot() {
+		switch rec.Name {
+		case "workpool.wait":
+			waits++
+		case "workpool.service":
+			services++
+		default:
+			t.Errorf("unexpected span %q", rec.Name)
+		}
+	}
+	if waits != jobs || services != jobs {
+		t.Fatalf("recorded %d wait / %d service spans, want %d each", waits, services, jobs)
+	}
+
+	// Detaching the tracer stops recording.
+	p2 := New(1, 1)
+	p2.SetTracer(tr)
+	p2.SetTracer(nil)
+	if !p2.Submit(func() {}) {
+		t.Fatal("Submit refused")
+	}
+	p2.Close()
+	if got := tr.Total(); got != 2*jobs {
+		t.Fatalf("untraced pool committed spans: total %d, want %d", got, 2*jobs)
 	}
 }

@@ -1,5 +1,18 @@
 package pftk
 
+import "pftk/internal/sim"
+
+// FlightRecorder is the engine's black box: a fixed ring of the most
+// recent schedule/fire/cancel/drop operations, dumpable after a panic
+// or invariant failure. It aliases the internal type so callers outside
+// the module can construct and read one.
+type FlightRecorder = sim.FlightRecorder
+
+// NewFlightRecorder returns a flight recorder retaining the last k
+// engine operations (k <= 0 selects the default capacity). Attach it to
+// a run with WithFlightRecorder.
+func NewFlightRecorder(k int) *FlightRecorder { return sim.NewFlightRecorder(k) }
+
 // SimOption configures one simulated transfer; pass options to Sim. The
 // zero configuration is a 100-second saturated Reno transfer over a
 // lossless 0.1 s-RTT path.
@@ -71,6 +84,15 @@ func WithDelayedACKs(b int) SimOption {
 // after the run completes. Without a scenario, dst is left untouched.
 func WithPhaseStats(dst *[]PhaseStat) SimOption {
 	return func(c *SimConfig) { c.phaseStats = dst }
+}
+
+// WithFlightRecorder attaches a flight recorder to the run's engine:
+// the last schedule/fire/cancel/drop operations are retained in f's
+// fixed ring for a post-mortem dump if the run panics or trips an
+// invariant. Recording writes into preallocated ring slots, so the
+// engine hot path stays allocation-free.
+func WithFlightRecorder(f *FlightRecorder) SimOption {
+	return func(c *SimConfig) { c.flight = f }
 }
 
 // analyzeConfig collects Analyze's options.

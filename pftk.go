@@ -187,6 +187,10 @@ type SimConfig struct {
 	// phaseStats, when set via WithPhaseStats, receives the per-phase
 	// attribution after a scenario run.
 	phaseStats *[]PhaseStat
+	// flight, when set via WithFlightRecorder, is attached to the run's
+	// engine so the last schedule/fire/cancel/drop operations are
+	// retained for a post-mortem dump.
+	flight *FlightRecorder
 	// totalPackets, when positive, makes the transfer finite
 	// (SimulateTransfer).
 	totalPackets uint64
@@ -238,6 +242,7 @@ func buildConn(c *SimConfig, horizon float64) (*reno.Connection, *scenario.Runne
 		Path:     netem.SymmetricPath(c.RTT/2, loss),
 	}
 	eng := new(sim.Engine)
+	eng.SetFlightRecorder(c.flight)
 	conn := reno.NewConnection(eng, cfg)
 	var runner *scenario.Runner
 	if c.Scenario != nil {
