@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-json-smoke bench-serve-json fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke trace-smoke scenario-smoke scenario-golden check clean
+.PHONY: all build test test-short race cover bench bench-json bench-json-smoke bench-serve-json bench-serve-json-smoke chaos-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke trace-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -180,6 +180,47 @@ bench-serve-json:
 	status=$$?; kill -TERM $$pid; wait $$pid; \
 	rm -rf bench-serve-out; exit $$status
 
+# CI regression gate for the committed serving baseline: drive a short
+# predict burst against a live pftkd and require (a) the pftkload -json
+# report still parses as healthy traffic with latency quantiles, and
+# (b) BENCH_serve.json still parses into the baseline schema with a
+# recorded serve entry under the "current" label — so the committed
+# numbers stay comparable against what the load pipeline produces.
+bench-serve-json-smoke:
+	rm -rf bench-serve-out && mkdir -p bench-serve-out
+	$(GO) build -o bench-serve-out/pftkd ./cmd/pftkd
+	$(GO) build -o bench-serve-out/pftkload ./cmd/pftkload
+	./bench-serve-out/pftkd -addr 127.0.0.1:0 \
+		-addrfile bench-serve-out/addr >bench-serve-out/pftkd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s bench-serve-out/addr ] && break; sleep 0.1; done; \
+	[ -s bench-serve-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
+	url="http://$$(cat bench-serve-out/addr)"; \
+	./bench-serve-out/pftkload -url $$url -c 8 -n 500 -json \
+		| $(GO) run ./cmd/benchjson -serve -check \
+			-baseline BENCH_serve.json -require current; \
+	status=$$?; kill -TERM $$pid; wait $$pid; \
+	rm -rf bench-serve-out; exit $$status
+
+# Chaos soak: 500 randomized scenario campaigns under the race detector,
+# from a fixed (spec, seed), run three times — parallel, serial, and
+# parallel again — with every run required to produce the byte-identical
+# report and zero invariant violations. -maxwall hard-kills a wedged
+# campaign so CI fails instead of hanging. On a failure, rerun with
+# -corpus to shrink a minimal repro (see DESIGN.md §11).
+chaos-smoke:
+	rm -rf chaos-smoke-out && mkdir -p chaos-smoke-out
+	$(GO) build -race -o chaos-smoke-out/pftkchaos ./cmd/pftkchaos
+	./chaos-smoke-out/pftkchaos -n 500 -seed 1 -j 8 -maxwall 10m \
+		-out chaos-smoke-out/j8.json
+	./chaos-smoke-out/pftkchaos -n 500 -seed 1 -j 1 -maxwall 10m \
+		-out chaos-smoke-out/j1.json
+	./chaos-smoke-out/pftkchaos -n 500 -seed 1 -j 8 -maxwall 10m \
+		-out chaos-smoke-out/j8b.json
+	cmp chaos-smoke-out/j8.json chaos-smoke-out/j1.json
+	cmp chaos-smoke-out/j8.json chaos-smoke-out/j8b.json
+	rm -rf chaos-smoke-out
+
 # End-to-end scenario smoke test: simulate the bundled outage scenario
 # through tracesim, analyze it with traceanal, and diff the per-interval
 # report against the checked-in golden output. Any nondeterminism in the
@@ -205,7 +246,7 @@ scenario-golden:
 	rm -f /tmp/outage-golden.pftk
 
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke trace-smoke scenario-smoke
+check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke trace-smoke scenario-smoke chaos-smoke bench-serve-json-smoke
 
 clean:
-	rm -rf results obs-smoke-out serve-smoke-out trace-smoke-out bench-serve-out
+	rm -rf results obs-smoke-out serve-smoke-out trace-smoke-out bench-serve-out chaos-smoke-out

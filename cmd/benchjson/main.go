@@ -14,6 +14,16 @@
 // it exits non-zero unless every benchmark named in -require was parsed,
 // which CI uses as a cheap smoke test that the benchmark suite still
 // runs and still reports allocations.
+//
+// The two flags compose: `-serve -check` validates a pftkload -json
+// report (successful traffic, latency quantiles present) and, with
+// -baseline, additionally requires the committed serving baseline file
+// to parse and to hold a recorded serve entry under every -require
+// label — CI's regression gate that BENCH_serve.json stays comparable
+// against what the load pipeline produces today:
+//
+//	pftkload -url $url -c 8 -n 500 -json \
+//	    | benchjson -serve -check -baseline BENCH_serve.json -require current
 package main
 
 import (
@@ -116,6 +126,47 @@ func parseServe(r io.Reader) (*ServeResult, error) {
 		sr.ServiceP50Seconds, sr.ServiceP99Seconds = q.P50, q.P99
 	}
 	return sr, nil
+}
+
+// checkServeBaseline validates the committed serving baseline file: it
+// must parse into the baseline schema, and every label named in require
+// must hold a recorded serve entry with real traffic and ordered
+// latency quantiles. Together with the stream validation in parseServe
+// this is the CI regression gate for BENCH_serve.json: the load
+// pipeline still emits comparable reports, and the committed numbers
+// are still something a fresh run can be compared against.
+func checkServeBaseline(path, require string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: not valid baseline JSON: %w", path, err)
+	}
+	for _, label := range strings.Split(require, ",") {
+		label = strings.TrimSpace(label)
+		if label == "" {
+			continue
+		}
+		b := f.Baselines[label]
+		if b == nil || b.Serve == nil {
+			return fmt.Errorf("%s: baseline %q has no recorded serve entry", path, label)
+		}
+		sr := b.Serve
+		if sr.Requests <= 0 || sr.ReqPerSec <= 0 {
+			return fmt.Errorf("%s: baseline %q records no traffic (requests=%d, req/s=%g)",
+				path, label, sr.Requests, sr.ReqPerSec)
+		}
+		if sr.P50Seconds <= 0 || sr.P99Seconds < sr.P50Seconds {
+			return fmt.Errorf("%s: baseline %q has inconsistent latency quantiles (p50=%g, p99=%g)",
+				path, label, sr.P50Seconds, sr.P99Seconds)
+		}
+	}
+	return nil
 }
 
 // File is the on-disk shape of BENCH_sim.json.
@@ -265,12 +316,13 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		outFile = fs.String("o", "", "baseline file to merge into (default: print JSON to stdout)")
-		label   = fs.String("label", "current", "baseline label to record the results under")
-		note    = fs.String("note", "", "free-text note stored with the baseline")
-		check   = fs.Bool("check", false, "validate the stream instead of recording it")
-		require = fs.String("require", "", "comma-separated benchmark names that must be present (with -check)")
-		serve   = fs.Bool("serve", false, "read a pftkload -json report instead of go test -bench output (BENCH_serve.json)")
+		outFile  = fs.String("o", "", "baseline file to merge into (default: print JSON to stdout)")
+		label    = fs.String("label", "current", "baseline label to record the results under")
+		note     = fs.String("note", "", "free-text note stored with the baseline")
+		check    = fs.Bool("check", false, "validate the stream instead of recording it")
+		require  = fs.String("require", "", "comma-separated names that must be present (with -check): benchmark names, or baseline labels with -serve")
+		serve    = fs.Bool("serve", false, "read a pftkload -json report instead of go test -bench output (BENCH_serve.json)")
+		baseline = fs.String("baseline", "", "with -serve -check: committed baseline file that must hold the -require serve labels")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -278,6 +330,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if *serve {
 		sr, err := parseServe(in)
 		if err != nil {
+			return err
+		}
+		if *check {
+			if err := checkServeBaseline(*baseline, *require); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(out, "ok serve: mode=%s c=%d n=%d, %.1f req/s, p50 %.6fs, p99 %.6fs\n",
+				sr.Mode, sr.Concurrency, sr.Requests, sr.ReqPerSec, sr.P50Seconds, sr.P99Seconds)
 			return err
 		}
 		b := &Baseline{

@@ -198,3 +198,69 @@ func TestServeModeRecordsBaseline(t *testing.T) {
 		t.Error("all-failure report was recorded")
 	}
 }
+
+const sampleLoadReport = `{
+	"mode": "predict", "concurrency": 8, "requests": 100,
+	"req_per_sec": 50, "status_2xx": 100,
+	"latency_seconds": {"p50": 0.002, "p99": 0.009}
+}`
+
+// TestServeCheckMode exercises the CI regression gate for
+// BENCH_serve.json: a healthy pftkload report plus a committed baseline
+// with the required serve label passes; a stream of failures, a missing
+// label, or a degenerate committed entry each fail with a pointed
+// error.
+func TestServeCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := writeBaseline("good.json", `{"baselines": {"current": {"serve": {
+		"mode": "predict", "concurrency": 8, "requests": 5000,
+		"req_per_sec": 5000, "p50_seconds": 0.001, "p99_seconds": 0.005}}}}`)
+
+	var out bytes.Buffer
+	err := run([]string{"-serve", "-check", "-baseline", good, "-require", "current"},
+		strings.NewReader(sampleLoadReport), &out)
+	if err != nil {
+		t.Fatalf("healthy report + good baseline should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok serve:") {
+		t.Errorf("check output = %q", out.String())
+	}
+
+	// Stream validation still applies in check mode.
+	dead := strings.NewReader(`{"requests": 5, "status_2xx": 0, "latency_seconds": {"p50": 1, "p99": 1}}`)
+	if err := run([]string{"-serve", "-check", "-baseline", good, "-require", "current"}, dead, &out); err == nil {
+		t.Error("all-failure report passed the serve check")
+	}
+
+	cases := []struct {
+		name, file, want string
+	}{
+		{"missing label", `{"baselines": {}}`, "no recorded serve entry"},
+		{"bench-only label", `{"baselines": {"current": {"benchmarks": {}}}}`, "no recorded serve entry"},
+		{"zero traffic", `{"baselines": {"current": {"serve": {
+			"mode": "predict", "requests": 0, "req_per_sec": 0,
+			"p50_seconds": 0.001, "p99_seconds": 0.005}}}}`, "records no traffic"},
+		{"inverted quantiles", `{"baselines": {"current": {"serve": {
+			"mode": "predict", "requests": 100, "req_per_sec": 50,
+			"p50_seconds": 0.005, "p99_seconds": 0.001}}}}`, "inconsistent latency quantiles"},
+		{"corrupt file", `{not json`, "not valid baseline JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeBaseline(strings.ReplaceAll(tc.name, " ", "-")+".json", tc.file)
+			err := run([]string{"-serve", "-check", "-baseline", path, "-require", "current"},
+				strings.NewReader(sampleLoadReport), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pftk/internal/chaos"
+)
+
+// TestFlagValidation rejects bad counts and modes before any work runs.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero n", []string{"-n", "0"}, "-n must be"},
+		{"zero j", []string{"-j", "0"}, "-j must be"},
+		{"zero maxrepros", []string{"-maxrepros", "0"}, "-maxrepros must be"},
+		{"bad mode", []string{"-mode", "yolo"}, "unknown -mode"},
+		{"drill without binary", []string{"-mode", "drill"}, "needs -pftkd"},
+		{"missing spec file", []string{"-spec", "/nonexistent/spec.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVersionFlag prints a version and exits cleanly.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pftkchaos") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+// TestPrintSpecRoundTrips pins that -printspec emits a document the
+// strict spec parser accepts — the documented way to start a custom
+// spec.
+func TestPrintSpecRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-printspec"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := chaos.ParseSpec(out.Bytes())
+	if err != nil {
+		t.Fatalf("printed spec does not re-parse: %v", err)
+	}
+	def := chaos.DefaultSpec()
+	if sp.Hash() != def.Hash() {
+		t.Error("printed spec is not the default spec")
+	}
+}
+
+// TestSmallCampaignDeterministicReport runs two tiny same-seed
+// campaigns end to end through the CLI and requires byte-identical
+// report files — the exact property `make chaos-smoke` checks at scale.
+func TestSmallCampaignDeterministicReport(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTestSpec(t, dir)
+	runOnce := func(name string, workers string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		if err := run([]string{"-spec", spec, "-n", "6", "-seed", "9", "-j", workers, "-out", path},
+			&out, io.Discard); err != nil {
+			t.Fatalf("campaign failed: %v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "6 cases, 0 failures") {
+			t.Fatalf("summary %q", out.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := runOnce("a.json", "1")
+	b := runOnce("b.json", "4")
+	if !bytes.Equal(a, b) {
+		t.Error("reports differ between -j1 and -j4")
+	}
+}
+
+// writeTestSpec persists a fast test spec (short runs) and returns its
+// path.
+func writeTestSpec(t *testing.T, dir string) string {
+	t.Helper()
+	sp := chaos.DefaultSpec()
+	sp.Name = "clitest"
+	sp.Duration = chaos.Range{Min: 2, Max: 4}
+	sp.FaultDur = chaos.Range{Min: 0.1, Max: 0.5}
+	data, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

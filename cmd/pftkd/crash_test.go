@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pftk/internal/chaos/chaoshttp"
+)
+
+// TestCrashRecoveryDrill is the daemon's crash-recovery lifecycle test:
+// build the real binary, load it with in-flight simulations, SIGKILL it
+// mid-flight, restart, and assert the recovery contract — the restarted
+// daemon is healthy, owes nothing to the dead process's job table,
+// runs identical resubmitted jobs to completion, replays them from
+// cache, and still drains cleanly on SIGTERM. The drill itself lives in
+// internal/chaos/chaoshttp so `pftkchaos -mode drill` runs the same
+// checks against any build.
+func TestCrashRecoveryDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	bin := filepath.Join(t.TempDir(), "pftkd")
+	build := exec.Command("go", "build", "-o", bin, "pftk/cmd/pftkd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pftkd: %v\n%s", err, out)
+	}
+
+	rep, err := chaoshttp.Drill(chaoshttp.DrillConfig{
+		Binary:  bin,
+		Jobs:    4,
+		Seed:    uint64(os.Getpid()), // vary the cache keys between test runs
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("[%s] %s", v.Invariant, v.Detail)
+	}
+	if rep.KilledInFlight == 0 {
+		t.Error("drill killed an idle daemon; the crash was not exercised mid-flight")
+	}
+}
+
+// moduleRoot locates the repository root (the directory holding go.mod)
+// so the build works under any test working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pftk/internal/scenario"
+)
+
+// smokeSpec is a scaled-down default for unit tests: short runs keep
+// the suite fast while still sampling every program shape.
+func smokeSpec() *Spec {
+	sp := DefaultSpec()
+	sp.Duration = Range{2, 5}
+	sp.FaultDur = Range{0.1, 0.8}
+	return &sp
+}
+
+// TestCampaignCleanAndWorkerIndependent is the package's core claim in
+// one test: a default-distribution campaign holds every invariant, and
+// the report is byte-identical across worker counts and across two
+// same-seed runs.
+func TestCampaignCleanAndWorkerIndependent(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		rep, err := Run(Config{Spec: smokeSpec(), Runs: 60, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range rep.Outcomes {
+			for _, v := range o.Violations {
+				t.Errorf("case %d violated %s: %s", o.Index, v.Invariant, v.Detail)
+			}
+		}
+		data, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("report differs between 1 and 8 workers")
+	}
+	if again := run(8); !bytes.Equal(parallel, again) {
+		t.Fatal("report differs between two same-seed runs")
+	}
+}
+
+// TestCampaignSeedMatters guards against a campaign that ignores its
+// seed: different seeds must produce different cases and reports.
+func TestCampaignSeedMatters(t *testing.T) {
+	a, err := Run(Config{Spec: smokeSpec(), Runs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Spec: smokeSpec(), Runs: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcomes[0].CaseHash == b.Outcomes[0].CaseHash {
+		t.Error("seeds 1 and 2 generated the same first case")
+	}
+}
+
+// TestCampaignBrokenInvariantShrinksToMinimalRepro drives the whole
+// failure pipeline with an intentionally broken invariant: a test hook
+// that flags any case whose scenario contains a delay_spike fault. The
+// campaign must catch the failures, shrink the first one to a minimal
+// case — exactly one delay_spike fault, no phases, since everything
+// else is irrelevant to the hook — and persist it as a corpus entry
+// that parses and still reproduces the failure.
+func TestCampaignBrokenInvariantShrinksToMinimalRepro(t *testing.T) {
+	hook := func(c Case, out *Outcome) {
+		if c.Scenario == nil {
+			return
+		}
+		for _, f := range c.Scenario.Faults {
+			if f.Kind == scenario.KindDelaySpike {
+				out.violate(InvHook, "intentionally broken: scenario contains a delay_spike fault")
+				return
+			}
+		}
+	}
+	dir := t.TempDir()
+	rep, err := Run(Config{
+		Spec: smokeSpec(), Runs: 40, Seed: 11, Workers: 4,
+		CorpusDir: dir, MaxRepros: 1, Hook: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures == 0 {
+		t.Fatal("40 default-spec cases produced no delay_spike faults; broaden the campaign")
+	}
+	if len(rep.Repros) != 1 {
+		t.Fatalf("repros written = %v, want exactly 1", rep.Repros)
+	}
+
+	entries, err := ReadCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("corpus holds %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Invariant != InvHook {
+		t.Errorf("entry invariant = %q, want %q", e.Invariant, InvHook)
+	}
+	min := e.Case
+	if min.Scenario == nil {
+		t.Fatal("minimal repro lost its scenario entirely — it cannot reproduce the failure")
+	}
+	if len(min.Scenario.Faults) != 1 || min.Scenario.Faults[0].Kind != scenario.KindDelaySpike {
+		t.Errorf("minimal repro faults = %+v, want exactly one delay_spike", min.Scenario.Faults)
+	}
+	if len(min.Scenario.Phases) != 0 {
+		t.Errorf("minimal repro kept %d irrelevant phases: %+v",
+			len(min.Scenario.Phases), min.Scenario.Phases)
+	}
+	if min.Scenario.Faults[0].Period != 0 {
+		t.Errorf("minimal repro kept a periodic train: %+v", min.Scenario.Faults[0])
+	}
+
+	// The persisted minimal case still fails the (broken) invariant.
+	var reOut Outcome
+	reOut = RunCase(min, smokeSpec().Envelope)
+	hook(min, &reOut)
+	if findViolation(reOut, InvHook) == "" {
+		t.Error("persisted minimal repro no longer reproduces the hook violation")
+	}
+}
+
+// TestCampaignRejectsBadConfig pins the error paths.
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Spec: smokeSpec(), Runs: 0}); err == nil ||
+		!strings.Contains(err.Error(), "positive run count") {
+		t.Errorf("zero runs accepted: %v", err)
+	}
+	bad := smokeSpec()
+	bad.Variants = nil
+	if _, err := Run(Config{Spec: bad, Runs: 1}); err == nil ||
+		!strings.Contains(err.Error(), "variants") {
+		t.Errorf("invalid spec accepted: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package chaoshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"pftk/internal/chaos"
+	"pftk/internal/serve"
+)
+
+// DrillConfig parameterizes one crash-recovery drill.
+type DrillConfig struct {
+	// Binary is the path of the pftkd executable to drill.
+	Binary string
+	// Jobs is the number of slow simulations to have in flight when the
+	// daemon is killed (0 = 4).
+	Jobs int
+	// Seed varies the drill's requests between runs.
+	Seed uint64
+	// Timeout bounds each daemon interaction (0 = 30 s).
+	Timeout time.Duration
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+// DrillReport summarizes one crash-recovery drill.
+type DrillReport struct {
+	// KilledInFlight counts jobs that were non-terminal at kill time.
+	KilledInFlight int `json:"killed_in_flight"`
+	// Violations lists every recovery-contract failure.
+	Violations []chaos.Violation `json:"violations,omitempty"`
+}
+
+// Failed reports whether the drill found a violation.
+func (r *DrillReport) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *DrillReport) violate(inv, format string, args ...any) {
+	r.Violations = append(r.Violations, chaos.Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// daemon is one running pftkd under drill control.
+type daemon struct {
+	cmd  *exec.Cmd
+	url  string
+	out  *strings.Builder
+	done chan error
+}
+
+// startDaemon launches the binary on an ephemeral port and waits for
+// the address file.
+func startDaemon(binary, dir string, timeout time.Duration, args ...string) (*daemon, error) {
+	addrfile := filepath.Join(dir, fmt.Sprintf("addr-%d", time.Now().UnixNano()))
+	d := &daemon{out: &strings.Builder{}, done: make(chan error, 1)}
+	argv := append([]string{"-addr", "127.0.0.1:0", "-addrfile", addrfile}, args...)
+	d.cmd = exec.Command(binary, argv...)
+	d.cmd.Stdout = d.out
+	d.cmd.Stderr = d.out
+	if err := d.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() { d.done <- d.cmd.Wait() }()
+	deadline := time.Now().Add(timeout)
+	for {
+		if data, err := os.ReadFile(addrfile); err == nil && len(data) > 0 {
+			d.url = "http://" + strings.TrimSpace(string(data))
+			return d, nil
+		}
+		select {
+		case err := <-d.done:
+			return nil, fmt.Errorf("pftkd exited before binding: %v\n%s", err, d.out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			_ = d.cmd.Process.Kill()
+			return nil, fmt.Errorf("pftkd did not write %s within %v", addrfile, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// healthy checks GET /healthz.
+func (d *daemon) healthy(client *http.Client) error {
+	resp, err := client.Get(d.url + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Drill runs the kill-and-restart crash-recovery drill:
+//
+//  1. Start the daemon, verify health, and put several slow simulations
+//     in flight.
+//  2. SIGKILL it mid-flight — no drain, no goodbye — and verify the
+//     process actually died with work outstanding.
+//  3. Restart, and verify the daemon comes up healthy with an empty,
+//     consistent job table (a fresh daemon owes nothing to its
+//     predecessor's jobs; what it owes is a clean slate).
+//  4. Resubmit an identical job: it must run to done (the crash leaked
+//     nothing that wedges new work), and an immediate second submission
+//     must replay it from cache.
+//  5. SIGTERM, and verify the graceful path still works after a
+//     crash-restart cycle: exit code 0 and the drain marker in the log.
+//
+// Environmental failures return an error; contract failures become
+// violations in the report.
+func Drill(cfg DrillConfig) (*DrillReport, error) {
+	if cfg.Binary == "" {
+		return nil, fmt.Errorf("chaoshttp: drill needs the pftkd binary path")
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 4
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			_, _ = fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	client := &http.Client{Timeout: timeout}
+	rep := &DrillReport{}
+	dir, err := os.MkdirTemp("", "pftkchaos-drill")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	// Phase 1: start and load.
+	d, err := startDaemon(cfg.Binary, dir, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+		}
+	}()
+	if err := d.healthy(client); err != nil {
+		return nil, fmt.Errorf("fresh daemon unhealthy: %w", err)
+	}
+	logf("daemon up at %s", d.url)
+
+	// Slow jobs: hour-scale simulated transfers take long enough to
+	// still be queued or running when the kill lands.
+	slow := serve.SimulateRequest{
+		RTT: 0.02, LossRate: 0.002, Wm: 64, Duration: 14400, Variant: "reno", AckEvery: 2,
+	}
+	var inflight []serve.Job
+	for i := 0; i < jobs; i++ {
+		req := slow
+		req.Seed = cfg.Seed + uint64(i)
+		job, status, err := submit(client, d.url, req, fmt.Sprintf("drill-%d", i))
+		if err != nil {
+			return rep, err
+		}
+		if status != http.StatusAccepted {
+			rep.violate(InvHTTPProto, "slow job %d: submit status %d, want 202", i, status)
+			continue
+		}
+		inflight = append(inflight, job)
+	}
+
+	// Phase 2: kill without ceremony.
+	for _, job := range inflight {
+		cur, err := getJob(client, d.url, job.ID)
+		if err != nil {
+			return rep, err
+		}
+		if cur.Status == serve.JobQueued || cur.Status == serve.JobRunning {
+			rep.KilledInFlight++
+		}
+	}
+	if rep.KilledInFlight == 0 {
+		rep.violate(InvHTTPProto,
+			"no job was still in flight at kill time; the drill killed an idle daemon (raise Jobs or job duration)")
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return rep, err
+	}
+	if err := <-d.done; err == nil {
+		rep.violate(InvHTTPProto, "daemon exited cleanly on SIGKILL; expected a killed process")
+	}
+	logf("killed with %d jobs in flight", rep.KilledInFlight)
+
+	// Phase 3: restart into a clean slate.
+	d2, err := startDaemon(cfg.Binary, dir, timeout)
+	if err != nil {
+		return rep, fmt.Errorf("restart after SIGKILL: %w", err)
+	}
+	defer func() {
+		if d2.cmd.ProcessState == nil {
+			_ = d2.cmd.Process.Kill()
+		}
+	}()
+	if err := d2.healthy(client); err != nil {
+		rep.violate(InvHTTPProto, "restarted daemon unhealthy: %v", err)
+		return rep, nil
+	}
+	// The predecessor's job IDs must not resolve: a job table that
+	// survived a SIGKILL would mean state is leaking between processes.
+	if len(inflight) > 0 {
+		resp, err := client.Get(d2.url + "/v1/jobs/" + inflight[0].ID)
+		if err != nil {
+			return rep, err
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			rep.violate(InvHTTPProto, "restarted daemon resolves the dead daemon's job %s with status %d",
+				inflight[0].ID, resp.StatusCode)
+		}
+	}
+
+	// Phase 4: identical work runs fresh, then replays from cache.
+	quick := serve.SimulateRequest{
+		RTT: 0.1, LossRate: 0.02, Wm: 32, Duration: 30, Variant: "reno", AckEvery: 2, Seed: cfg.Seed,
+	}
+	job, status, err := submit(client, d2.url, quick, "drill-recover")
+	if err != nil {
+		return rep, err
+	}
+	if status != http.StatusAccepted {
+		rep.violate(InvHTTPProto, "post-restart submit status %d, want 202 (fresh daemon cannot have it cached)", status)
+	} else {
+		job, err = waitTerminal(client, d2.url, job.ID, timeout)
+		if err != nil {
+			return rep, err
+		}
+		if job.Status != serve.JobDone {
+			rep.violate(InvHTTPProto, "post-restart job ended %q (error %q), want done", job.Status, job.Error)
+		}
+	}
+	again, status, err := submit(client, d2.url, quick, "drill-recover-replay")
+	if err != nil {
+		return rep, err
+	}
+	if status != http.StatusOK || !again.Cached {
+		rep.violate(InvHTTPCache, "post-restart resubmission status=%d cached=%v, want exact cache replay",
+			status, again.Cached)
+	}
+	logf("recovery job done and replayed from cache")
+
+	// Phase 5: graceful shutdown still works after the crash cycle.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return rep, err
+	}
+	select {
+	case err := <-d2.done:
+		if err != nil {
+			rep.violate(InvHTTPProto, "SIGTERM exit: %v\n%s", err, d2.out.String())
+		}
+	case <-time.After(timeout):
+		_ = d2.cmd.Process.Kill()
+		rep.violate(InvHTTPProto, "daemon did not shut down within %v of SIGTERM", timeout)
+	}
+	if !strings.Contains(d2.out.String(), "drained and stopped") {
+		rep.violate(InvHTTPProto, "daemon log missing the drain marker after SIGTERM:\n%s", d2.out.String())
+	}
+	logf("graceful shutdown verified")
+	return rep, nil
+}
+
+// getJob fetches one job's current state.
+func getJob(client *http.Client, baseURL, id string) (serve.Job, error) {
+	var job serve.Job
+	resp, err := client.Get(baseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return job, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return job, fmt.Errorf("job %s: status %d", id, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return job, err
+	}
+	return job, json.Unmarshal(data, &job)
+}

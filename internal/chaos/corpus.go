@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CorpusVersion is the current corpus-entry schema version.
+const CorpusVersion = 1
+
+// CorpusEntry is one persisted minimal repro: the invariant it failed,
+// the failure detail at the time it was found, and the (shrunk) case.
+// Entries live under testdata/chaos-corpus/ and are replayed by the
+// package tests: a fixed bug stays fixed, and its repro documents what
+// the bug was.
+type CorpusEntry struct {
+	// Version is the schema version (CorpusVersion).
+	Version int `json:"version"`
+	// Invariant names the failed check when the entry was written.
+	Invariant string `json:"invariant"`
+	// Detail is the violation text when the entry was written.
+	Detail string `json:"detail,omitempty"`
+	// Case is the minimal failing (now fixed) case.
+	Case Case `json:"case"`
+}
+
+// EntryFilename is the stable name an entry is stored under:
+// "<invariant>-<first 8 hash hex digits>.json". Content-addressed
+// naming keeps re-found repros from piling up as duplicates.
+func (e CorpusEntry) EntryFilename() string {
+	return fmt.Sprintf("%s-%s.json", e.Invariant, e.Case.Hash()[:8])
+}
+
+// WriteCorpusEntry writes the entry into dir (created if missing) under
+// its stable name, returning the path written.
+func WriteCorpusEntry(dir string, e CorpusEntry) (string, error) {
+	if e.Version == 0 {
+		e.Version = CorpusVersion
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: corpus: %w", err)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos: corpus: encode: %w", err)
+	}
+	path := filepath.Join(dir, e.EntryFilename())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("chaos: corpus: %w", err)
+	}
+	return path, nil
+}
+
+// ParseCorpusEntry decodes one corpus document strictly: unknown
+// fields, trailing garbage and invalid cases are all errors, because a
+// corpus entry that no longer parses is a repro that no longer runs.
+func ParseCorpusEntry(data []byte) (CorpusEntry, error) {
+	var e CorpusEntry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return e, fmt.Errorf("chaos: corpus: %w", err)
+	}
+	if dec.More() {
+		return e, errors.New("chaos: corpus: trailing data after JSON document")
+	}
+	if e.Version != CorpusVersion {
+		return e, fmt.Errorf("chaos: corpus: unknown version %d (current %d)", e.Version, CorpusVersion)
+	}
+	if e.Invariant == "" {
+		return e, errors.New("chaos: corpus: entry names no invariant")
+	}
+	if err := e.Case.Validate(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// ReadCorpusDir loads every *.json entry under dir in sorted filename
+// order. A missing directory is an empty corpus, not an error.
+func ReadCorpusDir(dir string) ([]CorpusEntry, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: corpus: %w", err)
+	}
+	sort.Strings(names)
+	var entries []CorpusEntry
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: corpus: %w", err)
+		}
+		e, err := ParseCorpusEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusReplay replays every committed repro under
+// testdata/chaos-corpus against the full invariant battery. An entry
+// records a case that once failed (or a seeded regression case); all of
+// them must run clean now and forever.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := ReadCorpusDir("testdata/chaos-corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed corpus is empty; the replay test is vacuous")
+	}
+	env := DefaultSpec().Envelope
+	for _, e := range entries {
+		e := e
+		t.Run(e.EntryFilename(), func(t *testing.T) {
+			t.Parallel()
+			out := RunCase(e.Case, env)
+			for _, v := range out.Violations {
+				t.Errorf("violated %s: %s", v.Invariant, v.Detail)
+			}
+		})
+	}
+}
+
+// TestCorpusEntryCodec pins the strict corpus codec: round trip,
+// unknown fields, version and invariant checks.
+func TestCorpusEntryCodec(t *testing.T) {
+	dir := t.TempDir()
+	entry := CorpusEntry{
+		Invariant: InvReplay,
+		Detail:    "example",
+		Case:      Case{Index: 3, Seed: 9, RTT: 0.1, LossRate: 0.02, Wm: 16, MinRTO: 1, Duration: 4, Variant: "reno", AckEvery: 2},
+	}
+	path, err := WriteCorpusEntry(dir, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, entry.EntryFilename()) {
+		t.Errorf("entry written to %s, want filename %s", path, entry.EntryFilename())
+	}
+	entries, err := ReadCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Case.Hash() != entry.Case.Hash() {
+		t.Fatalf("round trip lost the case: %+v", entries)
+	}
+	if entries[0].Version != CorpusVersion {
+		t.Errorf("version defaulting failed: %d", entries[0].Version)
+	}
+
+	bad := []struct{ name, doc string }{
+		{"unknown field", `{"version":1,"invariant":"x","kase":{}}`},
+		{"no invariant", `{"version":1,"case":{"index":0,"seed":1,"rtt":0.1,"loss_rate":0,"wm":8,"min_rto":1,"duration":2,"variant":"reno","ack_every":2}}`},
+		{"bad version", `{"version":99,"invariant":"x","case":{}}`},
+		{"invalid case", `{"version":1,"invariant":"x","case":{"index":0,"seed":1,"rtt":-1,"loss_rate":0,"wm":8,"min_rto":1,"duration":2,"variant":"reno","ack_every":2}}`},
+		{"trailing bytes", `{"version":1,"invariant":"x","case":{"index":0,"seed":1,"rtt":0.1,"loss_rate":0,"wm":8,"min_rto":1,"duration":2,"variant":"reno","ack_every":2}} extra`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCorpusEntry([]byte(tc.doc)); err == nil {
+				t.Error("parsed, want error")
+			}
+		})
+	}
+	// Missing directory = empty corpus, not an error.
+	if entries, err := ReadCorpusDir(dir + "/nope"); err != nil || len(entries) != 0 {
+		t.Errorf("missing dir: entries=%v err=%v", entries, err)
+	}
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDefaultSpecValid pins that the shipped default distribution is
+// itself valid — the smoke target runs it unmodified.
+func TestDefaultSpecValid(t *testing.T) {
+	sp := DefaultSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecCodecRoundTrip pins Parse(Encode(spec)) == spec and that the
+// canonical hash survives the trip.
+func TestSpecCodecRoundTrip(t *testing.T) {
+	sp := DefaultSpec()
+	data, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != sp.Hash() {
+		t.Errorf("hash changed across the codec round trip: %s vs %s", back.Hash(), sp.Hash())
+	}
+	if len(back.Variants) != len(sp.Variants) || back.RTT != sp.RTT || back.Envelope != sp.Envelope {
+		t.Errorf("round trip altered the spec: %+v", back)
+	}
+}
+
+// TestSpecCodecStrict pins the strict-parsing contract: unknown fields,
+// trailing garbage and semantic violations are all rejected.
+func TestSpecCodecStrict(t *testing.T) {
+	def := DefaultSpec()
+	valid, err := def.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"unknown field", `{"rtt":{"min":0.1,"max":0.1},"phazes":{}}`, "unknown field"},
+		{"trailing garbage", strings.TrimRight(string(valid), "\n") + `{"again":1}`, "trailing data"},
+		{"inverted range", mutate(t, valid, `"min": 0.02`, `"min": 0.5`), "inverted"},
+		{"empty variants", mutate(t, valid, `"variants": [`, `"variants_gone": [`), "unknown field"},
+		{"bad loss model", mutate(t, valid, `"bernoulli"`, `"markov9"`), "unknown loss model"},
+		{"bad fault kind", mutate(t, valid, `"outage"`, `"meteor"`), "unknown fault kind"},
+		{"fault longer than shortest run", mutate(t, valid, `"min": 4`, `"min": 1`), "does not fit"},
+		{"envelope below one", mutate(t, valid, `"model_error_factor": 10`, `"model_error_factor": 0.5`), "rejects perfect predictions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parsed, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q missing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// mutate replaces the first occurrence of old in the encoded default
+// spec, failing the test if the marker is absent (a future re-encoding
+// would silently neuter the case).
+func mutate(t *testing.T, doc []byte, old, new string) string {
+	t.Helper()
+	s := string(doc)
+	if !strings.Contains(s, old) {
+		t.Fatalf("encoded default spec no longer contains %q", old)
+	}
+	return strings.Replace(s, old, new, 1)
+}

@@ -25,8 +25,12 @@ import (
 //     only collects keys for sorting) is recognized and allowed.
 //
 // Scope: every function in the simulation packages (internal/sim,
-// internal/netem, internal/reno, internal/scenario), plus any function
-// anywhere annotated //pftk:deterministic.
+// internal/netem, internal/reno, internal/scenario) and the chaos
+// generator/campaign package (internal/chaos, whose replayability
+// contract is the same — a campaign must be reconstructable from (spec,
+// seed); its HTTP subpackage internal/chaos/chaoshttp deliberately
+// stays outside the scope because it drives real daemons with real
+// clocks), plus any function anywhere annotated //pftk:deterministic.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "flags wall-clock, global math/rand, goroutines and unordered map iteration in deterministic scope",
@@ -40,6 +44,7 @@ var deterministicPkgSuffixes = []string{
 	"internal/netem",
 	"internal/reno",
 	"internal/scenario",
+	"internal/chaos",
 }
 
 // deterministicPackage reports whether every function of the package is

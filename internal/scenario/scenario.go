@@ -23,8 +23,23 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+)
+
+// Named validation errors, matchable with errors.Is. A scenario with a
+// declared Duration must fit its whole program inside it: a fault train
+// or phase scheduled past the end would otherwise be silently truncated
+// at run time, and the experiment that ran would not be the experiment
+// that was written down.
+var (
+	// ErrFaultPastEnd reports a fault occurrence that ends after the
+	// scenario's declared duration.
+	ErrFaultPastEnd = errors.New("fault train schedules past scenario duration")
+	// ErrPhasePastEnd reports a phase that begins at or after the
+	// scenario's declared duration.
+	ErrPhasePastEnd = errors.New("phase begins at or after scenario duration")
 )
 
 // Fault kinds.
@@ -232,6 +247,13 @@ const (
 type Scenario struct {
 	// Name labels the scenario in reports and metrics.
 	Name string `json:"name,omitempty"`
+	// Duration, when positive, declares the scenario's intended run
+	// length in simulated seconds. Validate then rejects any phase or
+	// fault occurrence scheduled past it (ErrPhasePastEnd,
+	// ErrFaultPastEnd) instead of letting the run silently truncate the
+	// program. Zero (the default, and the only value older documents can
+	// carry) declares nothing and checks nothing.
+	Duration float64 `json:"duration,omitempty"`
 	// Phases are steady-state rewrites, sorted by strictly increasing
 	// At.
 	Phases []Phase `json:"phases,omitempty"`
@@ -250,6 +272,9 @@ func (s *Scenario) Validate() error {
 	if len(s.Faults) > MaxFaults {
 		return fmt.Errorf("scenario: %d faults exceeds limit %d", len(s.Faults), MaxFaults)
 	}
+	if s.Duration < 0 || math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
+		return fmt.Errorf("scenario: duration must be non-negative and finite seconds, got %v", s.Duration)
+	}
 	for i, ph := range s.Phases {
 		if err := ph.validate(i); err != nil {
 			return fmt.Errorf("scenario: %w", err)
@@ -258,10 +283,40 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: phase %d at %v does not follow phase %d at %v (phases must be strictly increasing)",
 				i, ph.At, i-1, s.Phases[i-1].At)
 		}
+		if s.Duration > 0 && ph.At >= s.Duration {
+			return fmt.Errorf("scenario: phase %d at %v, duration %v: %w", i, ph.At, s.Duration, ErrPhasePastEnd)
+		}
 	}
 	for i, f := range s.Faults {
 		if err := f.validate(i); err != nil {
 			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := f.validateWithin(i, s.Duration); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateWithin checks fault i against the scenario's declared duration
+// (no-op when duration is 0/undeclared). The first occurrence must fit
+// entirely — a fault that cannot complete even once is a program error,
+// not a boundary effect — and a bounded train's last occurrence must fit
+// too. Unbounded periodic trains (Count 0) are horizon-clipped by
+// design, so only their first occurrence is checked.
+func (f Fault) validateWithin(i int, duration float64) error {
+	if duration <= 0 {
+		return nil
+	}
+	if f.Start+f.Dur > duration {
+		return fmt.Errorf("scenario: fault %d (%s): first occurrence [%v, %v] ends after duration %v: %w",
+			i, f.Kind, f.Start, f.Start+f.Dur, duration, ErrFaultPastEnd)
+	}
+	if f.Period > 0 && f.Count > 0 {
+		last := f.Start + float64(f.Count-1)*f.Period
+		if last+f.Dur > duration {
+			return fmt.Errorf("scenario: fault %d (%s): occurrence %d of %d [%v, %v] ends after duration %v: %w",
+				i, f.Kind, f.Count, f.Count, last, last+f.Dur, duration, ErrFaultPastEnd)
 		}
 	}
 	return nil

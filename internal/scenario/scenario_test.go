@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,99 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestValidateDuration pins the declared-duration contract: with
+// Duration set, any phase or fault occurrence past the end is rejected
+// with a named, errors.Is-matchable error instead of being silently
+// truncated at run time; with Duration unset nothing changes.
+func TestValidateDuration(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want error // nil = must validate
+	}{
+		{"no duration declared checks nothing", Scenario{
+			Faults: []Fault{{Kind: KindOutage, Start: 1e6, Dur: 5}},
+		}, nil},
+		{"negative duration", Scenario{Duration: -1}, errBadDuration},
+		{"program that fits", Scenario{
+			Duration: 100,
+			Phases:   []Phase{{At: 50, RTT: f64(0.2)}},
+			Faults: []Fault{
+				{Kind: KindOutage, Start: 90, Dur: 10},
+				{Kind: KindLossBurst, Start: 5, Dur: 1, LossRate: 0.5, Period: 30, Count: 4},
+			},
+		}, nil},
+		{"phase at the end", Scenario{
+			Duration: 100,
+			Phases:   []Phase{{At: 100, RTT: f64(0.2)}},
+		}, ErrPhasePastEnd},
+		{"one-shot fault straddling the end", Scenario{
+			Duration: 100,
+			Faults:   []Fault{{Kind: KindOutage, Start: 99, Dur: 2}},
+		}, ErrFaultPastEnd},
+		{"one-shot fault entirely past the end", Scenario{
+			Duration: 100,
+			Faults:   []Fault{{Kind: KindDelaySpike, Start: 200, Dur: 1, ExtraDelay: 0.1}},
+		}, ErrFaultPastEnd},
+		{"bounded train overrunning the end", Scenario{
+			Duration: 100,
+			Faults:   []Fault{{Kind: KindLossBurst, Start: 5, Dur: 1, LossRate: 0.5, Period: 40, Count: 4}},
+		}, ErrFaultPastEnd},
+		{"unbounded train is horizon-clipped by design", Scenario{
+			Duration: 100,
+			Faults:   []Fault{{Kind: KindOutage, Start: 10, Dur: 2, Period: 30}},
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if tc.want == errBadDuration {
+				if err == nil || !strings.Contains(err.Error(), "duration must be") {
+					t.Fatalf("Validate() = %v, want duration range error", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// errBadDuration marks the table entries whose rejection carries no
+// sentinel (plain range validation).
+var errBadDuration = errors.New("bad duration marker")
+
+// TestDurationRoundTripsAndHashes pins that the new field survives the
+// codec and that declaring it changes the canonical hash (it is part of
+// the program, so caches must not collide a bounded scenario with its
+// unbounded twin).
+func TestDurationRoundTrips(t *testing.T) {
+	s := &Scenario{Name: "d", Duration: 60, Phases: []Phase{{At: 10, RTT: f64(0.2)}}}
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode() = %v", err)
+	}
+	back, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse(Encode()) = %v", err)
+	}
+	//pftklint:ignore floatcmp codec round-trip must be bit-exact
+	if back.Duration != 60 {
+		t.Fatalf("Duration round-tripped to %v, want 60", back.Duration)
+	}
+	unbounded := &Scenario{Name: "d", Phases: []Phase{{At: 10, RTT: f64(0.2)}}}
+	if s.Hash() == unbounded.Hash() {
+		t.Error("declared duration does not change the canonical hash")
 	}
 }
 

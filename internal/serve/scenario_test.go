@@ -98,6 +98,10 @@ func TestSimulateScenarioBadRequests(t *testing.T) {
 		{"bad fault kind", `{"loss_rate":0.01,"scenario":{"faults":[{"kind":"fire","start":0,"dur":1}]}}`, "unknown kind"},
 		{"non-increasing phases", `{"loss_rate":0.01,"scenario":{"phases":[{"at":2,"rtt":0.2},{"at":2,"rtt":0.3}]}}`, "strictly increasing"},
 		{"unknown scenario field", `{"loss_rate":0.01,"scenario":{"phazes":[]}}`, "bad request body"},
+		{"fault past declared duration", `{"loss_rate":0.01,"duration":50,` +
+			`"scenario":{"duration":50,"faults":[{"kind":"outage","start":49,"dur":5}]}}`, "past scenario duration"},
+		{"scenario duration exceeds run duration", `{"loss_rate":0.01,"duration":10,` +
+			`"scenario":{"duration":60,"faults":[{"kind":"outage","start":20,"dur":5}]}}`, "exceeds run duration"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

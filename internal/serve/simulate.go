@@ -104,6 +104,10 @@ func (r SimulateRequest) validate() error {
 	if err := r.Scenario.Validate(); err != nil {
 		return err
 	}
+	if r.Scenario != nil && r.Scenario.Duration > 0 && r.Scenario.Duration > r.Duration {
+		return fmt.Errorf("scenario duration %v exceeds run duration %v (the program past %v would be silently truncated)",
+			r.Scenario.Duration, r.Duration, r.Duration)
+	}
 	return nil
 }
 
@@ -149,6 +153,24 @@ type SimulateResult struct {
 	// Phases attributes offered/dropped packets to scenario segments;
 	// present only for scenario-bearing requests.
 	Phases []scenario.PhaseStat `json:"phases,omitempty"`
+}
+
+// Run normalizes, validates and executes one simulation request exactly
+// as the /v1/simulate job path does (panic-guarded, flight recorder
+// attached), returning the result the daemon would cache. Chaos
+// campaigns use it as the local oracle when cross-checking a live
+// daemon's responses: same request, same bytes, or the daemon has
+// diverged from the library.
+func Run(r SimulateRequest) (SimulateResult, error) {
+	r = r.normalize()
+	if err := r.validate(); err != nil {
+		return SimulateResult{}, err
+	}
+	res, dump, err := runSimulationGuarded(r, 0)
+	if err != nil {
+		return SimulateResult{}, fmt.Errorf("%w\n%s", err, dump)
+	}
+	return res, nil
 }
 
 // runSimulationGuarded runs one simulation with a flight recorder

@@ -1,0 +1,73 @@
+package pftk_test
+
+import (
+	"testing"
+
+	"pftk"
+)
+
+// TestWithObsDoesNotPerturb pins the WithObs contract: attaching a
+// metric registry (and a link-stats sink) must not change the simulated
+// outcome — the trace, the counters, everything byte for byte.
+func TestWithObsDoesNotPerturb(t *testing.T) {
+	base := []pftk.SimOption{
+		pftk.WithPath(0.2),
+		pftk.WithLoss(0.02),
+		pftk.WithDuration(50),
+		pftk.WithSeed(7),
+	}
+	plain := pftk.Sim(base...)
+
+	reg := pftk.NewRegistry()
+	var ls pftk.PathStats
+	observed := pftk.Sim(append(append([]pftk.SimOption{}, base...),
+		pftk.WithObs(reg), pftk.WithLinkStats(&ls))...)
+
+	if len(plain.Trace) != len(observed.Trace) {
+		t.Fatalf("trace length changed under observation: %d vs %d", len(plain.Trace), len(observed.Trace))
+	}
+	for i := range plain.Trace {
+		if plain.Trace[i] != observed.Trace[i] {
+			t.Fatalf("trace record %d changed under observation: %+v vs %+v", i, plain.Trace[i], observed.Trace[i])
+		}
+	}
+	if plain.Stats != observed.Stats {
+		t.Fatalf("sender stats changed under observation: %+v vs %+v", plain.Stats, observed.Stats)
+	}
+}
+
+// TestWithObsAndLinkStatsReconcile pins that the three measurement
+// layers agree on the same run: obs counters mirror the link's own
+// counters exactly, and the link's forward-direction offered count is
+// the sender's total transmissions.
+func TestWithObsAndLinkStatsReconcile(t *testing.T) {
+	reg := pftk.NewRegistry()
+	var ls pftk.PathStats
+	res := pftk.Sim(
+		pftk.WithPath(0.1),
+		pftk.WithLoss(0.05),
+		pftk.WithDuration(60),
+		pftk.WithSeed(11),
+		pftk.WithObs(reg),
+		pftk.WithLinkStats(&ls),
+	)
+	snap := reg.Snapshot()
+	if got, want := snap.Counter("netem.fwd.offered"), uint64(ls.Forward.Offered); got != want {
+		t.Errorf("netem.fwd.offered = %d, link stats say %d", got, want)
+	}
+	if got, want := snap.Counter("netem.fwd.drops.loss"), uint64(ls.Forward.RandomDrops); got != want {
+		t.Errorf("netem.fwd.drops.loss = %d, link stats say %d", got, want)
+	}
+	if got, want := snap.Counter("netem.rev.offered"), uint64(ls.Reverse.Offered); got != want {
+		t.Errorf("netem.rev.offered = %d, link stats say %d", got, want)
+	}
+	if got, want := ls.Forward.Offered, res.Stats.TotalSent(); got != want {
+		t.Errorf("forward link offered %d packets, sender sent %d", got, want)
+	}
+	if ls.Forward.RandomDrops == 0 {
+		t.Error("5% loss over 60s produced no random drops")
+	}
+	if snap.Counter("sim.events") == 0 {
+		t.Error("engine hooks recorded no events")
+	}
+}

@@ -1,6 +1,32 @@
 package pftk
 
-import "pftk/internal/sim"
+import (
+	"pftk/internal/netem"
+	"pftk/internal/obs"
+	"pftk/internal/sim"
+)
+
+// Registry is an observability metric registry (counters, gauges,
+// histograms); attach one to a run with WithObs and read it back with
+// its Snapshot method. It aliases the internal type so callers outside
+// the module can construct and consume one.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metric registry for WithObs.
+func NewRegistry() *Registry { return obs.New() }
+
+// LinkStats are one link direction's packet counters (offered,
+// delivered, drops by cause, queue high-water mark).
+type LinkStats = netem.LinkStats
+
+// PathStats snapshots both directions of the emulated path after a run:
+// Forward carries data packets, Reverse carries ACKs. Populated via
+// WithLinkStats; the counters are the ground truth that packet-
+// conservation checks reconcile against trace- and metric-level counts.
+type PathStats struct {
+	Forward LinkStats
+	Reverse LinkStats
+}
 
 // FlightRecorder is the engine's black box: a fixed ring of the most
 // recent schedule/fire/cancel/drop operations, dumpable after a panic
@@ -93,6 +119,26 @@ func WithPhaseStats(dst *[]PhaseStat) SimOption {
 // engine hot path stays allocation-free.
 func WithFlightRecorder(f *FlightRecorder) SimOption {
 	return func(c *SimConfig) { c.flight = f }
+}
+
+// WithObs instruments the run with metric collection on reg: the engine
+// (events, queue depth, cancels), both link directions (netem.fwd.* /
+// netem.rev.* offered/delivered/drop counters), the sender (cwnd/RTT
+// histograms, loss-indication counters) and, when a scenario is bound,
+// the scenario runner (transitions, fault windows, per-phase
+// attribution). Observation never perturbs the simulation: metric hooks
+// draw no randomness, so a run with and without a registry produces
+// byte-identical traces. A nil registry disables collection.
+func WithObs(reg *Registry) SimOption {
+	return func(c *SimConfig) { c.registry = reg }
+}
+
+// WithLinkStats directs both directions' final link counters into dst
+// after the run completes — the packet-conservation ground truth
+// (offered = delivered + drops + still-in-flight) that invariant
+// checkers reconcile against the sender's trace and the obs counters.
+func WithLinkStats(dst *PathStats) SimOption {
+	return func(c *SimConfig) { c.linkStats = dst }
 }
 
 // analyzeConfig collects Analyze's options.

@@ -40,6 +40,7 @@ import (
 	"pftk/internal/analysis"
 	"pftk/internal/core"
 	"pftk/internal/netem"
+	"pftk/internal/obs"
 	"pftk/internal/reno"
 	"pftk/internal/scenario"
 	"pftk/internal/sim"
@@ -191,6 +192,12 @@ type SimConfig struct {
 	// engine so the last schedule/fire/cancel/drop operations are
 	// retained for a post-mortem dump.
 	flight *FlightRecorder
+	// registry, when set via WithObs, instruments the engine, both link
+	// directions, the sender and (when present) the scenario runner.
+	registry *obs.Registry
+	// linkStats, when set via WithLinkStats, receives both directions'
+	// final link counters after the run.
+	linkStats *PathStats
 	// totalPackets, when positive, makes the transfer finite
 	// (SimulateTransfer).
 	totalPackets uint64
@@ -243,6 +250,12 @@ func buildConn(c *SimConfig, horizon float64) (*reno.Connection, *scenario.Runne
 	}
 	eng := new(sim.Engine)
 	eng.SetFlightRecorder(c.flight)
+	if c.registry != nil {
+		cfg.Sender.Metrics = reno.NewMetrics(c.registry)
+		cfg.Path.Forward.Metrics = netem.NewLinkMetrics(c.registry, "netem.fwd")
+		cfg.Path.Reverse.Metrics = netem.NewLinkMetrics(c.registry, "netem.rev")
+		eng.SetHooks(engineHooks(c.registry))
+	}
 	conn := reno.NewConnection(eng, cfg)
 	var runner *scenario.Runner
 	if c.Scenario != nil {
@@ -251,9 +264,27 @@ func buildConn(c *SimConfig, horizon float64) (*reno.Connection, *scenario.Runne
 			RNG:      rng.Fork("scenario"),
 			Base:     scenario.Base{RTT: c.RTT, Loss: loss},
 			Horizon:  horizon,
+			Registry: c.registry,
 		})
 	}
 	return conn, runner
+}
+
+// engineHooks is the standard engine instrumentation for WithObs: events
+// fired, queue-depth high-water mark and cancels, all into preallocated
+// handles so the hooks never allocate on the hot path.
+func engineHooks(reg *obs.Registry) sim.Hooks {
+	events := reg.Counter("sim.events")
+	depth := reg.Gauge("sim.queue.depth")
+	cancels := reg.Counter("sim.cancels")
+	return sim.Hooks{
+		EventFired: func(_ float64, pending int) {
+			events.Inc()
+			depth.Set(float64(pending))
+		},
+		Scheduled: func(_ float64, pending int) { depth.Set(float64(pending)) },
+		Cancelled: func() { cancels.Inc() },
+	}
 }
 
 // Sim runs a saturated TCP bulk transfer over an emulated — optionally
@@ -292,6 +323,12 @@ func runSim(c SimConfig) SimResult {
 	res := conn.Run(c.Duration)
 	if runner != nil && c.phaseStats != nil {
 		*c.phaseStats = runner.Finish()
+	}
+	if c.linkStats != nil {
+		*c.linkStats = PathStats{
+			Forward: conn.Path.Forward.Stats(),
+			Reverse: conn.Path.Reverse.Stats(),
+		}
 	}
 	return res
 }
