@@ -30,18 +30,29 @@ bench:
 # across runs) and fold the per-metric medians into BENCH_sim.json under
 # the "current" label. The committed "pre" label is the seed baseline
 # this PR was measured against — do not overwrite it.
+#
+# The multi-flow benchmarks simulate N flows per iteration, so they get
+# their own (smaller) fixed iteration counts; benchjson merges each run
+# into the same "current" label without dropping the earlier entries.
 BENCH_JSON_PATTERN = BenchmarkSimulatedSecond$$|BenchmarkSimStepObsDisabled$$|BenchmarkLinkSend$$|BenchmarkTimerReset$$|BenchmarkTraceAppend$$
-BENCH_JSON_REQUIRE = BenchmarkSimulatedSecond,BenchmarkSimStepObsDisabled,BenchmarkLinkSend,BenchmarkTimerReset,BenchmarkTraceAppend
+BENCH_JSON_MULTI_PATTERN = BenchmarkMultiFlow10$$|BenchmarkMultiFlow100$$
+BENCH_JSON_REQUIRE = BenchmarkSimulatedSecond,BenchmarkSimStepObsDisabled,BenchmarkLinkSend,BenchmarkTimerReset,BenchmarkTraceAppend,BenchmarkMultiFlow10,BenchmarkMultiFlow100
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
 		-benchtime 100000x -count 5 ./... \
 		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -label current
+	$(GO) test -run '^$$' -bench 'BenchmarkMultiFlow10$$' -benchmem \
+		-benchtime 10000x -count 5 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -label current
+	$(GO) test -run '^$$' -bench 'BenchmarkMultiFlow100$$' -benchmem \
+		-benchtime 1000x -count 5 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -label current
 
 # CI smoke: a 10-iteration pass proves the benchmark suite still runs,
 # still reports allocations, and still parses into the baseline schema.
 bench-json-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)' -benchmem \
+	$(GO) test -run '^$$' -bench '$(BENCH_JSON_PATTERN)|$(BENCH_JSON_MULTI_PATTERN)' -benchmem \
 		-benchtime 10x ./... \
 		| $(GO) run ./cmd/benchjson -check -require '$(BENCH_JSON_REQUIRE)'
 

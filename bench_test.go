@@ -391,6 +391,33 @@ func BenchmarkSimulatedSecond(b *testing.B) {
 	b.ReportMetric(float64(res.Stats.TotalSent())/float64(b.N), "pkts/simsec")
 }
 
+// benchMultiFlow measures one simulated second of an n-flow shared
+// bottleneck per iteration: the multi-flow engine's whole-system
+// throughput at the fairness experiments' operating point (20 pkts/s
+// fair share, 5-packet-per-flow queue).
+func benchMultiFlow(b *testing.B, n int) {
+	res := Sim(
+		WithPath(0.08),
+		WithWindow(64),
+		WithMinRTO(0.5),
+		WithFlowCount(n),
+		WithBottleneck(Bottleneck{Rate: 20 * float64(n), QueueCap: 5 * n, OneWay: 0.04}),
+		WithDuration(float64(b.N)),
+		WithSeed(11),
+	)
+	var total int
+	for _, fr := range res.FlowResults {
+		total += fr.Result.Stats.TotalSent()
+	}
+	if total == 0 {
+		b.Fatal("no traffic")
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "pkts/simsec")
+}
+
+func BenchmarkMultiFlow10(b *testing.B)  { benchMultiFlow(b, 10) }
+func BenchmarkMultiFlow100(b *testing.B) { benchMultiFlow(b, 100) }
+
 func BenchmarkTraceEncode(b *testing.B) {
 	res := Simulate(SimConfig{RTT: 0.1, LossRate: 0.02, Wm: 16, Duration: 60, Seed: 1})
 	tr := res.Trace

@@ -271,8 +271,12 @@ func reduce(raw samples) map[string]*Result {
 }
 
 // mergeFile folds a labeled baseline into the JSON file at path,
-// creating it if absent and replacing any previous baseline under the
-// same label.
+// creating it if absent. Within an existing label, incoming benchmark
+// entries replace same-named ones and all others are kept — so suites
+// that need different fixed iteration counts (the single-flow path at
+// 100000x, the multi-flow systems at 10000x/1000x) can be recorded by
+// consecutive invocations under one label; the incoming run's date and
+// note win.
 func mergeFile(path, label string, b *Baseline, e env) error {
 	f := &File{Baselines: map[string]*Baseline{}}
 	data, err := os.ReadFile(path)
@@ -297,6 +301,19 @@ func mergeFile(path, label string, b *Baseline, e env) error {
 	}
 	if e.cpu != "" {
 		f.CPU = e.cpu
+	}
+	if prev := f.Baselines[label]; prev != nil {
+		for name, r := range prev.Benchmarks {
+			if b.Benchmarks == nil {
+				b.Benchmarks = map[string]*Result{}
+			}
+			if _, ok := b.Benchmarks[name]; !ok {
+				b.Benchmarks[name] = r
+			}
+		}
+		if b.Serve == nil {
+			b.Serve = prev.Serve
+		}
 	}
 	f.Baselines[label] = b
 	out, err := json.MarshalIndent(f, "", "  ")

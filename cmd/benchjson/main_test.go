@@ -121,6 +121,56 @@ func TestRunRelabelReplacesBaseline(t *testing.T) {
 	}
 }
 
+// multiFlowBench is a second run set with one benchmark overlapping
+// sampleBench (different numbers) and one new to it — the shape of the
+// Makefile's separate fixed-benchtime MultiFlow invocation.
+const multiFlowBench = `goos: linux
+goarch: amd64
+pkg: pftk
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatedSecond 	  100000	     15000 ns/op	        36.92 pkts/simsec	   20326 B/op	     236 allocs/op
+BenchmarkMultiFlow10     	   10000	    110000 ns/op	       200.0 pkts/simsec	   43146 B/op	       0 allocs/op
+PASS
+ok  	pftk	2.041s
+`
+
+func TestRunMergesBenchmarksWithinLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	var out strings.Builder
+	if err := run([]string{"-o", path, "-label", "current"},
+		strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", path, "-label", "current"},
+		strings.NewReader(multiFlowBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	b := f.Baselines["current"]
+	if b == nil {
+		t.Fatalf("current label missing: %v", f.Baselines)
+	}
+	// The earlier run's exclusive benchmark survives the second merge...
+	if tr := b.Benchmarks["BenchmarkTimerReset"]; tr == nil || tr.NsPerOp != 120 {
+		t.Errorf("merge dropped BenchmarkTimerReset: %+v", tr)
+	}
+	// ...the second run's new benchmark is recorded...
+	if mf := b.Benchmarks["BenchmarkMultiFlow10"]; mf == nil || mf.NsPerOp != 110000 {
+		t.Errorf("merge missed BenchmarkMultiFlow10: %+v", mf)
+	}
+	// ...and on a name collision the incoming run wins.
+	if sec := b.Benchmarks["BenchmarkSimulatedSecond"]; sec == nil || sec.NsPerOp != 15000 {
+		t.Errorf("collision not won by incoming run: %+v", sec)
+	}
+}
+
 func TestCheckMode(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-check", "-require", "BenchmarkSimulatedSecond,BenchmarkTimerReset"},

@@ -27,7 +27,7 @@ func main() {
 		Duration: 1800, Seed: 1,
 	})
 	fmt.Println("wide-area path (propagation-dominated):")
-	report(wan.Trace, wan, 22)
+	report(wan.Trace, wan.Result, 22)
 
 	// Modem path: 3.5 pkts/s bottleneck, 40-packet dedicated buffer.
 	_, cfg := hosts.ModemPair()

@@ -1,0 +1,108 @@
+package chaos
+
+import "testing"
+
+// TestGenerateFlowsDimension checks the flows dimension samples real
+// multi-flow cases from the default spec and that they carry coherent
+// bottleneck parameters and no scenario.
+func TestGenerateFlowsDimension(t *testing.T) {
+	sp := DefaultSpec()
+	var multi int
+	for i := 0; i < 40; i++ {
+		c, err := Generate(&sp, 11, i)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if c.Flows < 2 {
+			continue
+		}
+		multi++
+		if c.Scenario != nil {
+			t.Errorf("case %d: multi-flow case carries a scenario", i)
+		}
+		if c.FlowRate < float64(c.Flows)*sp.FlowRate.Min || c.FlowRate > float64(c.Flows)*sp.FlowRate.Max {
+			t.Errorf("case %d: total rate %v outside %d x [%v, %v]", i, c.FlowRate, c.Flows, sp.FlowRate.Min, sp.FlowRate.Max)
+		}
+		if c.FlowQueue < c.Flows*sp.FlowQueue.Min || c.FlowQueue > c.Flows*sp.FlowQueue.Max {
+			t.Errorf("case %d: total queue %d outside %d x [%d, %d]", i, c.FlowQueue, c.Flows, sp.FlowQueue.Min, sp.FlowQueue.Max)
+		}
+		if c.LossRate == 0 && c.BurstDur == 0 {
+			t.Errorf("case %d: multi-flow case lost its base loss process", i)
+		}
+	}
+	// Flows{1,4} should yield multi-flow draws about 3/4 of the time;
+	// zero out of 40 means the dimension is not being sampled.
+	if multi == 0 {
+		t.Fatal("no multi-flow cases in 40 draws from the default spec")
+	}
+}
+
+// TestMultiFlowCaseCleanAndReplayStable runs one multi-flow case
+// through the full invariant pipeline: per-flow conservation, aggregate
+// sanity and byte-exact replay must all hold.
+func TestMultiFlowCaseCleanAndReplayStable(t *testing.T) {
+	c := Case{
+		Index:     0,
+		Seed:      9,
+		RTT:       0.08,
+		LossRate:  0.01,
+		Wm:        32,
+		MinRTO:    0.5,
+		Duration:  30,
+		Variant:   "reno",
+		AckEvery:  2,
+		Flows:     3,
+		FlowRate:  90,
+		FlowQueue: 15,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := RunCase(c, DefaultSpec().Envelope)
+	for _, v := range out.Violations {
+		t.Errorf("violated %s: %s", v.Invariant, v.Detail)
+	}
+	if out.Packets == 0 || out.Delivered == 0 {
+		t.Errorf("no traffic: %+v", out)
+	}
+}
+
+// TestMultiFlowValidation pins the multi-flow case constraints.
+func TestMultiFlowValidation(t *testing.T) {
+	base := Case{RTT: 0.1, Wm: 16, MinRTO: 1, Duration: 10, Variant: "reno", AckEvery: 2}
+
+	c := base
+	c.Flows = 2
+	if err := c.Validate(); err == nil {
+		t.Error("multi-flow case without a bottleneck rate validated")
+	}
+	c.FlowRate = 50
+	if err := c.Validate(); err == nil {
+		t.Error("multi-flow case without a queue validated")
+	}
+	c.FlowQueue = 8
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid multi-flow case rejected: %v", err)
+	}
+}
+
+// TestShrinkDropsFlows checks the shrinker can walk a multi-flow
+// failure down to the single-flow pipeline when the flow population is
+// irrelevant to the failing invariant.
+func TestShrinkDropsFlows(t *testing.T) {
+	c := Case{
+		Index: 0, Seed: 3, RTT: 0.1, LossRate: 0.05, Wm: 32, MinRTO: 1,
+		Duration: 8, Variant: "tahoe", AckEvery: 1,
+		Flows: 4, FlowRate: 120, FlowQueue: 20,
+	}
+	// Hook fails every case regardless of shape: the shrinker should
+	// reach a minimal single-flow case.
+	hook := func(_ Case, out *Outcome) { out.violate(InvHook, "always fails") }
+	min := Shrink(c, InvHook, Envelope{}, hook, 60)
+	if min.Flows != 0 {
+		t.Errorf("shrunk case still has %d flows", min.Flows)
+	}
+	if min.Variant != "reno" || min.AckEvery != 2 {
+		t.Errorf("knobs not simplified: variant %q ack %d", min.Variant, min.AckEvery)
+	}
+}

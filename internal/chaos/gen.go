@@ -47,6 +47,17 @@ type Case struct {
 	// scenario codec's past-the-end validation guards every generated
 	// program.
 	Scenario *scenario.Scenario `json:"scenario,omitempty"`
+	// Flows, when 2 or more, runs that many symmetric flows through one
+	// shared bottleneck instead of the single-flow pipeline. Multi-flow
+	// cases carry no scenario and are checked against the per-flow
+	// invariant set.
+	Flows int `json:"flows,omitempty"`
+	// FlowRate is the shared bottleneck's total rate, pkts/s
+	// (multi-flow cases only).
+	FlowRate float64 `json:"flow_rate,omitempty"`
+	// FlowQueue is the shared bottleneck's total queue capacity,
+	// packets (multi-flow cases only).
+	FlowQueue int `json:"flow_queue,omitempty"`
 }
 
 // Hash returns a canonical content hash of the case.
@@ -82,6 +93,16 @@ func (c Case) Validate() error {
 		return fmt.Errorf("chaos: case %d: unknown variant %q", c.Index, c.Variant)
 	case c.AckEvery < 1:
 		return fmt.Errorf("chaos: case %d: ack_every must be at least 1, got %d", c.Index, c.AckEvery)
+	}
+	if c.Flows >= 2 {
+		switch {
+		case !(c.FlowRate > 0) || math.IsInf(c.FlowRate, 0):
+			return fmt.Errorf("chaos: case %d: flow_rate must be positive and finite, got %v", c.Index, c.FlowRate)
+		case c.FlowQueue < 1:
+			return fmt.Errorf("chaos: case %d: flow_queue must be at least 1, got %d", c.Index, c.FlowQueue)
+		case c.Scenario != nil:
+			return fmt.Errorf("chaos: case %d: multi-flow cases cannot carry a scenario", c.Index)
+		}
 	}
 	if err := c.Scenario.Validate(); err != nil {
 		return fmt.Errorf("chaos: case %d: %w", c.Index, err)
@@ -162,6 +183,24 @@ func Generate(sp *Spec, seed uint64, i int) (Case, error) {
 		c.BurstDur = lossRNG.Uniform(sp.Loss.BurstDur.Min, sp.Loss.BurstDur.Max)
 	default: // bernoulli
 		c.LossRate = rate
+	}
+
+	// Flow count: a draw of n >= 2 turns the case into n symmetric flows
+	// competing for one shared bottleneck. Scenario programs rewrite a
+	// single flow's private path, so multi-flow cases skip them, and a
+	// ge base process (which has no fixed-path spelling) falls back to
+	// bernoulli at the same rate.
+	if n := intIn(rng.Fork("flows"), sp.Flows); n >= 2 {
+		c.Flows = n
+		c.FlowRate = float64(n) * rng.Fork("flowrate").Uniform(sp.FlowRate.Min, sp.FlowRate.Max)
+		c.FlowQueue = n * intIn(rng.Fork("flowqueue"), sp.FlowQueue)
+		if c.LossRate == 0 && c.BurstDur == 0 {
+			c.LossRate = rate
+		}
+		if err := c.Validate(); err != nil {
+			return c, fmt.Errorf("generated case invalid: %w", err)
+		}
+		return c, nil
 	}
 
 	phases = append(phases, genPhases(sp, rng.Fork("phases"), c.Duration)...)

@@ -32,6 +32,8 @@ const (
 	InvModelEnv     = "model-envelope"    // PFTK prediction vs. measured rate
 	InvReplay       = "replay"            // same case, different bytes
 	InvHook         = "hook"              // injected by a campaign Hook (tests)
+	InvFlowConserve = "flow-conservation" // per-flow packet conservation at the shared bottleneck
+	InvFlowSanity   = "flow-sanity"       // multi-flow aggregate coherence (rates, fairness, summaries)
 )
 
 // Violation is one failed invariant on one case.
@@ -103,6 +105,30 @@ func execute(c Case) (rd runData, vio *Violation) {
 			}
 		}
 	}()
+	if c.Flows >= 2 {
+		// Multi-flow case: symmetric flows through one shared
+		// bottleneck. The single-flow instrumentation (obs registry,
+		// link stats, phase attribution) does not apply; the per-flow
+		// bottleneck attribution in FlowResults is the ground truth the
+		// flow invariants check instead.
+		rd.res = pftk.Sim(
+			pftk.WithPath(c.RTT),
+			pftk.WithBurstLoss(c.LossRate, c.BurstDur),
+			pftk.WithWindow(c.Wm),
+			pftk.WithMinRTO(c.MinRTO),
+			pftk.WithDuration(c.Duration),
+			pftk.WithSeed(c.Seed),
+			pftk.WithOS(c.Variant),
+			pftk.WithDelayedACKs(c.AckEvery),
+			pftk.WithFlowCount(c.Flows),
+			pftk.WithBottleneck(pftk.Bottleneck{
+				Rate:     c.FlowRate,
+				QueueCap: c.FlowQueue,
+				OneWay:   c.RTT / 2,
+			}),
+		)
+		return rd, nil
+	}
 	reg := pftk.NewRegistry()
 	rd.res = pftk.Sim(
 		pftk.WithPath(c.RTT),
@@ -137,6 +163,16 @@ func (rd runData) digest() string {
 	for _, ph := range rd.phases {
 		_, _ = fmt.Fprintf(h, "phase %+v\n", ph)
 	}
+	// Multi-flow runs: every flow's trace, counters and bottleneck
+	// attribution (empty on single-flow runs, leaving their digests
+	// unchanged).
+	for _, fr := range rd.res.FlowResults {
+		_, _ = fmt.Fprintf(h, "flow %d stats %+v delivered %d link %+v\n",
+			fr.ID, fr.Result.Stats, fr.Result.Delivered, fr.Link)
+		for i := range fr.Result.Trace {
+			_, _ = fmt.Fprintf(h, "%v\n", fr.Result.Trace[i])
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -157,12 +193,20 @@ func RunCase(c Case, env Envelope) Outcome {
 	out.SendRate = rd.res.SendRate()
 	out.ReplayHash = rd.digest()
 
-	checkConservation(&out, rd)
-	checkObsReconcile(&out, rd)
-	checkSenderLink(&out, rd)
-	checkGroundTruth(&out, rd)
-	checkPhaseAttribution(&out, c, rd)
-	checkModelEnvelope(&out, c, rd, env)
+	if c.Flows >= 2 {
+		// Multi-flow cases have their own invariant set; the
+		// single-flow checks read instrumentation that multi-flow runs
+		// do not populate.
+		checkFlowConservation(&out, c, rd)
+		checkFlowSanity(&out, c, rd)
+	} else {
+		checkConservation(&out, rd)
+		checkObsReconcile(&out, rd)
+		checkSenderLink(&out, rd)
+		checkGroundTruth(&out, rd)
+		checkPhaseAttribution(&out, c, rd)
+		checkModelEnvelope(&out, c, rd, env)
+	}
 
 	rd2, vio2 := execute(c)
 	if vio2 != nil {
@@ -289,6 +333,67 @@ func checkPhaseAttribution(out *Outcome, c Case, rd runData) {
 	}
 	if delivered != fwd.Delivered {
 		out.violate(InvPhaseAttrib, "segments delivered %d, link delivered %d", delivered, fwd.Delivered)
+	}
+}
+
+// checkFlowConservation verifies per-flow packet conservation at the
+// shared bottleneck: for every flow, packets the link attributes to it
+// must reconcile with the flow's own sender and receiver — nothing
+// invented at the link, nothing delivered that was not offered, and at
+// most a queue's worth unaccounted for when the run ends.
+func checkFlowConservation(out *Outcome, c Case, rd runData) {
+	if len(rd.res.FlowResults) != c.Flows {
+		out.violate(InvFlowConserve, "case declares %d flows, run reports %d", c.Flows, len(rd.res.FlowResults))
+		return
+	}
+	for _, fr := range rd.res.FlowResults {
+		ls := fr.Link
+		sent := fr.Result.Stats.TotalSent()
+		// The flow's private access loss (LossRate > 0) drops packets
+		// before the bottleneck, so offered is bounded by — and without
+		// access loss equals — the sender's transmissions.
+		if ls.Offered > sent {
+			out.violate(InvFlowConserve, "flow %d: bottleneck offered %d > sender transmitted %d",
+				fr.ID, ls.Offered, sent)
+		}
+		if c.LossRate == 0 && ls.Offered != sent {
+			out.violate(InvFlowConserve, "flow %d: lossless access path but bottleneck offered %d != sender transmitted %d",
+				fr.ID, ls.Offered, sent)
+		}
+		residual := ls.Offered - ls.RandomDrops - ls.QueueDrops - ls.Delivered
+		if residual < 0 || residual > c.FlowQueue+1 {
+			out.violate(InvFlowConserve, "flow %d: residual %d outside [0, queue+1=%d]: %+v",
+				fr.ID, residual, c.FlowQueue+1, ls)
+		}
+		// Distinct in-order packets at the receiver cannot exceed the
+		// link's arrivals for the flow.
+		if fr.Result.Delivered > uint64(ls.Delivered) {
+			out.violate(InvFlowConserve, "flow %d: receiver delivered %d > bottleneck delivered %d",
+				fr.ID, fr.Result.Delivered, ls.Delivered)
+		}
+	}
+}
+
+// checkFlowSanity verifies the multi-flow aggregates cohere: per-flow
+// summaries reproduce the senders' own counters, the fairness vectors
+// are indexed per flow, and Jain's index is in its mathematical range.
+func checkFlowSanity(out *Outcome, c Case, rd runData) {
+	if len(rd.res.Flows) != len(rd.res.FlowResults) {
+		out.violate(InvFlowSanity, "summaries %d != flow results %d", len(rd.res.Flows), len(rd.res.FlowResults))
+		return
+	}
+	for i, fr := range rd.res.FlowResults {
+		if sum := rd.res.Flows[i]; sum.PacketsSent != fr.Result.Stats.TotalSent() {
+			out.violate(InvFlowSanity, "flow %d: summary counted %d transmissions, sender counted %d",
+				i, sum.PacketsSent, fr.Result.Stats.TotalSent())
+		}
+	}
+	f := rd.res.Fairness
+	if len(f.Rates) != c.Flows || len(f.Predicted) != c.Flows {
+		out.violate(InvFlowSanity, "fairness vectors sized %d/%d, want %d", len(f.Rates), len(f.Predicted), c.Flows)
+	}
+	if f.AggregateRate > 0 && (f.Jain <= 0 || f.Jain > 1+1e-12) {
+		out.violate(InvFlowSanity, "jain index %v outside (0, 1]", f.Jain)
 	}
 }
 

@@ -94,6 +94,26 @@ func candidates(c Case) []Case {
 			}
 		}
 	}
+	// Multi-flow simplifications: collapse to the single-flow pipeline
+	// first (the failure may not need competing flows at all), else
+	// halve the population while scaling the bottleneck to keep each
+	// remaining flow's share — and therefore its congestion regime —
+	// unchanged.
+	if c.Flows >= 2 {
+		single := c
+		single.Flows, single.FlowRate, single.FlowQueue = 0, 0, 0
+		out = append(out, single)
+		if half := c.Flows / 2; half >= 2 {
+			cand := c
+			cand.Flows = half
+			cand.FlowRate = c.FlowRate * float64(half) / float64(c.Flows)
+			cand.FlowQueue = c.FlowQueue * half / c.Flows
+			if cand.FlowQueue < 1 {
+				cand.FlowQueue = 1
+			}
+			out = append(out, cand)
+		}
+	}
 	// Halve the duration (scenario duration tracks it; candidates whose
 	// program no longer fits are rejected by Validate inside Shrink).
 	if c.Duration > 2 {

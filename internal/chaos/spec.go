@@ -149,6 +149,19 @@ type Spec struct {
 	// DupProb is the duplicate window's per-packet probability range.
 	DupProb Range `json:"dup_prob"`
 
+	// Flows is the range of concurrent-flow counts per case. Counts of
+	// 0 or 1 run the classic single-flow pipeline; a draw of n >= 2
+	// runs n symmetric flows through one shared bottleneck instead
+	// (scenario programs are single-flow machinery and are skipped on
+	// multi-flow cases).
+	Flows IntRange `json:"flows"`
+	// FlowRate is the shared bottleneck's per-flow rate range, pkts/s;
+	// a case's total bottleneck rate is the draw times its flow count.
+	FlowRate Range `json:"flow_rate"`
+	// FlowQueue is the bottleneck's per-flow queue-capacity range,
+	// packets (total capacity scales with the flow count likewise).
+	FlowQueue IntRange `json:"flow_queue"`
+
 	// Envelope configures the model-vs-measured invariant.
 	Envelope Envelope `json:"envelope"`
 }
@@ -183,6 +196,9 @@ func DefaultSpec() Spec {
 		ExtraDelay:        Range{0.05, 0.5},
 		Jitter:            Range{0.01, 0.2},
 		DupProb:           Range{0.01, 0.3},
+		Flows:             IntRange{1, 4},
+		FlowRate:          Range{15, 60},
+		FlowQueue:         IntRange{3, 8},
 		Envelope:          Envelope{ModelErrorFactor: defaultModelErrorFactor, MinLossIndications: 20},
 	}
 }
@@ -308,6 +324,17 @@ func (sp *Spec) Validate() error {
 	}
 	if sp.DupProb.Max > 1 {
 		return fmt.Errorf("chaos: dup_prob maximum %v above 1", sp.DupProb.Max)
+	}
+	if err := sp.Flows.validate("flows", 0); err != nil {
+		return err
+	}
+	if sp.Flows.Max >= 2 {
+		if err := sp.FlowRate.validate("flow_rate", 1); err != nil {
+			return err
+		}
+		if err := sp.FlowQueue.validate("flow_queue", 1); err != nil {
+			return err
+		}
 	}
 	if math.IsNaN(sp.Envelope.ModelErrorFactor) || sp.Envelope.ModelErrorFactor < 0 {
 		return fmt.Errorf("chaos: envelope.model_error_factor must be non-negative, got %v", sp.Envelope.ModelErrorFactor)

@@ -283,8 +283,8 @@ func TestCorrelationReport(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("registry size = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("registry size = %d, want 17", len(ids))
 	}
 	for _, id := range ids {
 		if _, err := Get(id); err != nil {
@@ -301,8 +301,8 @@ func TestRunAllShapes(t *testing.T) {
 		t.Skip("full harness")
 	}
 	reports := RunAll(quickOpts())
-	if len(reports) != 16 {
-		t.Fatalf("reports = %d, want 16 (10 paper artifacts + 6 extension studies)", len(reports))
+	if len(reports) != 17 {
+		t.Fatalf("reports = %d, want 17 (10 paper artifacts + 7 extension studies)", len(reports))
 	}
 	seen := map[string]bool{}
 	for _, r := range reports {

@@ -78,13 +78,13 @@ func TestShortFlowsReport(t *testing.T) {
 }
 
 func TestRegistryIncludesExtensions(t *testing.T) {
-	for _, id := range []string{"lossmodels", "shortflows", "fairness", "regimes", "nonstationary"} {
+	for _, id := range []string{"lossmodels", "shortflows", "fairness", "multiflow", "regimes", "nonstationary"} {
 		if _, err := Get(id); err != nil {
 			t.Errorf("extension %s not registered: %v", id, err)
 		}
 	}
-	if len(IDs()) != 16 {
-		t.Errorf("registry size = %d, want 16", len(IDs()))
+	if len(IDs()) != 17 {
+		t.Errorf("registry size = %d, want 17", len(IDs()))
 	}
 }
 
@@ -123,6 +123,39 @@ func TestFairnessReport(t *testing.T) {
 	for _, u := range []float64{dtUtil, redUtil} {
 		if u < 0.7 || u > 1.1 {
 			t.Errorf("link utilization %.2f out of range", u)
+		}
+	}
+}
+
+func TestMultiflowReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates up to 1000 concurrent flows")
+	}
+	r := Multiflow(quickOpts())
+	tb := r.Tables[0]
+	if tb.NumRows() != len(multiflowPopulations) {
+		t.Fatalf("rows = %d, want %d populations", tb.NumRows(), len(multiflowPopulations))
+	}
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		mean, _ := strconv.ParseFloat(f[2], 64)
+		jain, _ := strconv.ParseFloat(f[4], 64)
+		util, _ := strconv.ParseFloat(f[5], 64)
+		// Every population must settle near the provisioned fair share
+		// with high fairness and a busy link.
+		if mean < 0.5*multiflowPerFlowRate || mean > 1.5*multiflowPerFlowRate {
+			t.Errorf("mean per-flow rate %.1f far from fair share %.1f: %s", mean, multiflowPerFlowRate, line)
+		}
+		if jain < 0.9 || jain > 1+1e-9 {
+			t.Errorf("Jain index %.3f out of band: %s", jain, line)
+		}
+		if util < 0.7 || util > 1.1 {
+			t.Errorf("utilization %.2f out of range: %s", util, line)
 		}
 	}
 }

@@ -25,6 +25,7 @@ var registry = map[string]Runner{
 	"lossmodels":    LossModels,
 	"shortflows":    ShortFlows,
 	"fairness":      Fairness,
+	"multiflow":     Multiflow,
 	"regimes":       Regimes,
 	"evolution":     Evolution,
 	"nonstationary": Nonstationary,
@@ -84,6 +85,7 @@ func RunAllTimed(o Options, onDone func(r *Report, wallSeconds float64)) []*Repo
 		{"lossmodels", func() *Report { return LossModels(o) }},
 		{"shortflows", func() *Report { return ShortFlows(o) }},
 		{"fairness", func() *Report { return Fairness(o) }},
+		{"multiflow", func() *Report { return Multiflow(o) }},
 		{"regimes", func() *Report { return Regimes(o) }},
 		{"evolution", func() *Report { return Evolution(o) }},
 		{"nonstationary", func() *Report { return Nonstationary(o) }},

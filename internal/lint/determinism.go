@@ -25,7 +25,8 @@ import (
 //     only collects keys for sorting) is recognized and allowed.
 //
 // Scope: every function in the simulation packages (internal/sim,
-// internal/netem, internal/reno, internal/scenario) and the chaos
+// internal/netem, internal/reno, internal/multiflow, internal/scenario)
+// and the chaos
 // generator/campaign package (internal/chaos, whose replayability
 // contract is the same — a campaign must be reconstructable from (spec,
 // seed); its HTTP subpackage internal/chaos/chaoshttp deliberately
@@ -43,6 +44,7 @@ var deterministicPkgSuffixes = []string{
 	"internal/sim",
 	"internal/netem",
 	"internal/reno",
+	"internal/multiflow",
 	"internal/scenario",
 	"internal/chaos",
 }

@@ -1,0 +1,43 @@
+package multiflow
+
+import (
+	"testing"
+
+	"pftk/internal/sim"
+)
+
+// TestSharedBottleneckSteadyStateAllocs pins the packet path for the
+// shared-bottleneck engine: with 10 flows warm, advancing the simulation
+// stays under ~2 allocations per simulated second per flow. The residue
+// is amortized growth (trace chunks, event-pool doublings, link queue
+// slices), not per-packet boxing — the boxed path cost tens of
+// allocations per packet-event before the typed pkt.Packet slots.
+func TestSharedBottleneckSteadyStateAllocs(t *testing.T) {
+	const n = 10
+	cfg := Config{
+		Flows: SymmetricFlows(n, FlowSpec{RTT: 0.08, Wm: 64, MinRTO: 0.5}),
+		Bottleneck: Bottleneck{
+			Rate:     20 * n,
+			QueueCap: 5 * n,
+			OneWay:   0.04,
+		},
+		Duration: 1,
+		Seed:     7,
+	}
+	var eng sim.Engine
+	m := New(&eng, cfg)
+	m.Start()
+	deadline := 30.0
+	eng.RunUntil(deadline)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		deadline++
+		eng.RunUntil(deadline)
+	})
+	// ~200 packets traverse the bottleneck per simulated second here; a
+	// bound of 2 allocs/flow/sec means < 0.1 allocs per packet, all of it
+	// amortized buffer growth.
+	if allocs >= 2*n {
+		t.Errorf("shared-bottleneck path allocates %.1f times per simulated second for %d flows, want < %d", allocs, n, 2*n)
+	}
+}

@@ -3,24 +3,19 @@ package netem
 import (
 	"testing"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
-
-// collect returns a deliver callback appending payloads (ints) to out in
-// arrival order.
-func collect(out *[]int) func(any) {
-	return func(p any) { *out = append(*out, p.(int)) }
-}
 
 func TestLinkSetLossTakesEffectImmediately(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{})
 	var got []int
-	l.Send(1, collect(&got))
+	l.Send(pk(1), collect(&got))
 	l.SetLoss(NewScript(0)) // drop the next offered packet
-	l.Send(2, collect(&got))
+	l.Send(pk(2), collect(&got))
 	l.SetLoss(nil)
-	l.Send(3, collect(&got))
+	l.Send(pk(3), collect(&got))
 	eng.Run()
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("got %v, want [1 3]", got)
@@ -34,11 +29,11 @@ func TestLinkSetDelayChangesRTTMidRun(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Delay: ConstantDelay(0.1)})
 	var arrivals []float64
-	deliver := func(any) { arrivals = append(arrivals, eng.Now()) }
-	l.Send(1, deliver)
+	deliver := func(pkt.Packet) { arrivals = append(arrivals, eng.Now()) }
+	l.Send(pk(1), deliver)
 	eng.Run()
 	l.SetDelay(ConstantDelay(0.5))
-	l.Send(2, deliver)
+	l.Send(pk(2), deliver)
 	eng.Run()
 	if len(arrivals) != 2 {
 		t.Fatalf("arrivals = %v", arrivals)
@@ -57,7 +52,7 @@ func TestLinkSetRateInfiniteDrainsQueue(t *testing.T) {
 	var got []int
 	// First packet enters service (1 s serialization); the rest queue.
 	for i := 1; i <= 4; i++ {
-		l.Send(i, collect(&got))
+		l.Send(pk(i), collect(&got))
 	}
 	if l.QueueLen() != 3 {
 		t.Fatalf("QueueLen = %d, want 3", l.QueueLen())
@@ -79,13 +74,13 @@ func TestLinkSetQueueCapAffectsNewArrivalsOnly(t *testing.T) {
 	l := NewLink(&eng, LinkConfig{Rate: 1, QueueCap: 4})
 	var got []int
 	for i := 1; i <= 5; i++ { // 1 in service, 4 queued
-		l.Send(i, collect(&got))
+		l.Send(pk(i), collect(&got))
 	}
 	l.SetQueueCap(1) // shrink below current backlog: nothing evicted
 	if l.QueueLen() != 4 {
 		t.Fatalf("QueueLen = %d, want 4 (no eviction)", l.QueueLen())
 	}
-	l.Send(6, collect(&got)) // over the new cap: dropped
+	l.Send(pk(6), collect(&got)) // over the new cap: dropped
 	if s := l.Stats(); s.QueueDrops != 1 {
 		t.Fatalf("QueueDrops = %d, want 1", s.QueueDrops)
 	}
@@ -101,10 +96,10 @@ func TestLinkDuplicateWindow(t *testing.T) {
 	var got []int
 	l.SetDuplicate(1, sim.NewRNG(1)) // duplicate every packet
 	for i := 1; i <= 3; i++ {
-		l.Send(i, collect(&got))
+		l.Send(pk(i), collect(&got))
 	}
 	l.SetDuplicate(0, nil)
-	l.Send(4, collect(&got))
+	l.Send(pk(4), collect(&got))
 	eng.Run()
 	if len(got) != 7 {
 		t.Fatalf("delivered %v, want 3 duplicated + 1 single = 7", got)
@@ -126,8 +121,8 @@ func TestLinkReorderWindowAllowsOvertaking(t *testing.T) {
 	})})
 	var got []int
 	l.SetReorder(true)
-	l.Send(1, collect(&got))
-	l.Send(2, collect(&got))
+	l.Send(pk(1), collect(&got))
+	l.Send(pk(2), collect(&got))
 	eng.Run()
 	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
 		t.Fatalf("got %v, want [2 1] (overtaking allowed)", got)
@@ -137,8 +132,8 @@ func TestLinkReorderWindowAllowsOvertaking(t *testing.T) {
 	l.SetReorder(false)
 	i = 0
 	got = nil
-	l.Send(1, collect(&got))
-	l.Send(2, collect(&got))
+	l.Send(pk(1), collect(&got))
+	l.Send(pk(2), collect(&got))
 	eng.Run()
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("got %v, want [1 2] (FIFO clamp)", got)
@@ -165,7 +160,7 @@ func TestPathImplementsController(t *testing.T) {
 	pc.SetReorder(true)
 
 	var got []int
-	p.Forward.Send(1, collect(&got)) // dropped by the script
+	p.Forward.Send(pk(1), collect(&got)) // dropped by the script
 	eng.Run()
 	if st := pc.DataStats(); st.Offered != 1 || st.RandomDrops != 1 {
 		t.Fatalf("DataStats = %+v, want offered=1 randomDrops=1", st)

@@ -1,6 +1,9 @@
 package netem
 
-import "pftk/internal/sim"
+import (
+	"pftk/internal/pkt"
+	"pftk/internal/sim"
+)
 
 // CrossTraffic injects background packets into a link so that a TCP flow
 // under test competes for the bottleneck queue, producing the
@@ -74,11 +77,15 @@ func (c *CrossTraffic) scheduleNext() {
 		c.togglePeriods()
 		if c.on {
 			c.injected++
-			c.Link.Send(crossPacket{}, func(any) {})
+			c.Link.Send(pkt.Packet{Kind: pkt.Cross}, crossSink)
 		}
 		c.scheduleNext()
 	})
 }
+
+// crossSink absorbs delivered background packets; no protocol consumes
+// them.
+func crossSink(pkt.Packet) {}
 
 // togglePeriods flips between ON and OFF when the current period expires.
 func (c *CrossTraffic) togglePeriods() {
@@ -96,6 +103,3 @@ func (c *CrossTraffic) togglePeriods() {
 		}
 	}
 }
-
-// crossPacket marks background traffic in link queues.
-type crossPacket struct{}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -28,7 +29,7 @@ func TestQuickFIFOUnderJitter(t *testing.T) {
 			// Send in bursts with tiny gaps, the worst case for
 			// jitter reordering.
 			eng.Schedule(float64(i/8)*0.001, func() {
-				l.Send(i, func(p any) { order = append(order, p.(int)) })
+				l.Send(pk(i), func(p pkt.Packet) { order = append(order, int(p.Seq)) })
 			})
 		}
 		eng.Run()
@@ -66,7 +67,7 @@ func TestQuickFIFOThroughQueue(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			i := i
 			eng.Schedule(float64(i)*0.005, func() {
-				l.Send(i, func(p any) { order = append(order, p.(int)) })
+				l.Send(pk(i), func(p pkt.Packet) { order = append(order, int(p.Seq)) })
 			})
 		}
 		eng.Run()

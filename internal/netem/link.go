@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -71,6 +72,25 @@ func (s LinkStats) LossRate() float64 {
 	return float64(s.RandomDrops+s.QueueDrops) / float64(s.Offered)
 }
 
+// FlowStats counts what happened on a link to one flow's packets, keyed
+// by the Flow field of the packets it carried. Collected only when
+// EnablePerFlowStats has sized the per-flow table; the multi-flow
+// engine uses it for per-flow conservation checks and loss attribution.
+type FlowStats struct {
+	Offered     int // packets this flow presented to the link
+	Delivered   int // packets handed to the receiver
+	RandomDrops int // dropped by the LossModel (or RED decision)
+	QueueDrops  int // dropped by drop-tail overflow
+}
+
+// LossRate returns the flow's drops divided by its offered packets.
+func (s FlowStats) LossRate() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.RandomDrops+s.QueueDrops) / float64(s.Offered)
+}
+
 // String implements fmt.Stringer.
 func (s LinkStats) String() string {
 	return fmt.Sprintf("offered=%d delivered=%d randomDrops=%d queueDrops=%d maxQ=%d",
@@ -111,9 +131,13 @@ type Link struct {
 	// In-service packet and the pre-built completion callback, so serving
 	// a packet schedules a stored func instead of allocating a closure
 	// per transmission.
-	txPayload any
-	txDeliver func(any)
+	txPayload pkt.Packet
+	txDeliver func(pkt.Packet)
 	txDone    func()
+
+	// Per-flow counters, indexed by the packets' Flow field; nil (the
+	// default) disables collection and costs one nil check per packet.
+	perFlow []FlowStats
 
 	// Fault-injection state, mutable at runtime (see the Set* methods).
 	dupP    float64  // per-packet duplication probability; 0 disables
@@ -122,8 +146,8 @@ type Link struct {
 }
 
 type queued struct {
-	payload any
-	deliver func(any)
+	payload pkt.Packet
+	deliver func(pkt.Packet)
 }
 
 // ring is a growable circular buffer of queued packets. Pre-sized to the
@@ -195,6 +219,36 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
+// EnablePerFlowStats sizes the per-flow counter table for flow IDs
+// 0..n-1 and starts collecting. Packets whose Flow falls outside the
+// table (or all packets, before this call) are counted only in the
+// aggregate LinkStats.
+func (l *Link) EnablePerFlowStats(n int) {
+	if n > 0 {
+		l.perFlow = make([]FlowStats, n)
+	}
+}
+
+// FlowStats returns a snapshot of flow i's counters; the zero value when
+// per-flow collection is disabled or i is out of range.
+func (l *Link) FlowStats(i int) FlowStats {
+	if i < 0 || i >= len(l.perFlow) {
+		return FlowStats{}
+	}
+	return l.perFlow[i]
+}
+
+// flowEntry returns the mutable per-flow counter slot for p, or nil when
+// collection is off or the flow ID is out of range.
+//
+//pftk:hotpath
+func (l *Link) flowEntry(p pkt.Packet) *FlowStats {
+	if int(p.Flow) >= len(l.perFlow) || p.Flow < 0 {
+		return nil
+	}
+	return &l.perFlow[p.Flow]
+}
+
 // QueueLen returns the number of packets waiting (not in service).
 func (l *Link) QueueLen() int { return l.queue.n }
 
@@ -209,15 +263,22 @@ func (l *Link) QueueLen() int { return l.queue.n }
 // event arena underneath is pooled — pinned by TestLinkSendZeroAlloc.
 //
 //pftk:hotpath
-func (l *Link) Send(payload any, deliver func(any)) {
+func (l *Link) Send(payload pkt.Packet, deliver func(pkt.Packet)) {
 	if deliver == nil {
 		panic("netem: nil deliver callback")
 	}
 	l.stats.Offered++
 	l.cfg.Metrics.Offered.Inc()
+	fs := l.flowEntry(payload)
+	if fs != nil {
+		fs.Offered++
+	}
 	now := l.eng.Now()
 	if l.cfg.Loss != nil && l.cfg.Loss.Drop(now) {
 		l.stats.RandomDrops++
+		if fs != nil {
+			fs.RandomDrops++
+		}
 		l.cfg.Metrics.LossDrops.Inc()
 		if f := l.eng.FlightRecorder(); f != nil {
 			f.Note(sim.FlightDrop, now, now, 0, "loss")
@@ -235,10 +296,13 @@ func (l *Link) Send(payload any, deliver func(any)) {
 // propagation on an infinitely fast link).
 //
 //pftk:hotpath
-func (l *Link) admit(payload any, deliver func(any)) {
+func (l *Link) admit(payload pkt.Packet, deliver func(pkt.Packet)) {
 	if l.busy {
 		if l.queue.n >= l.cfg.QueueCap {
 			l.stats.QueueDrops++
+			if fs := l.flowEntry(payload); fs != nil {
+				fs.QueueDrops++
+			}
 			l.cfg.Metrics.FIFODrops.Inc()
 			if f := l.eng.FlightRecorder(); f != nil {
 				f.Note(sim.FlightDrop, l.eng.Now(), l.eng.Now(), 0, "fifo")
@@ -263,7 +327,7 @@ func (l *Link) admit(payload any, deliver func(any)) {
 // infinite while packets were queued, the backlog drains immediately.
 //
 //pftk:hotpath
-func (l *Link) serve(payload any, deliver func(any)) {
+func (l *Link) serve(payload pkt.Packet, deliver func(pkt.Packet)) {
 	if l.cfg.Rate <= 0 {
 		l.busy = false
 		l.propagate(payload, deliver)
@@ -288,7 +352,7 @@ func (l *Link) serve(payload any, deliver func(any)) {
 func (l *Link) onTxDone() {
 	l.stats.BusySeconds += l.eng.Now() - l.stats.lastBusyFrom
 	payload, deliver := l.txPayload, l.txDeliver
-	l.txPayload, l.txDeliver = nil, nil
+	l.txPayload, l.txDeliver = pkt.Packet{}, nil
 	l.propagate(payload, deliver)
 	if l.queue.n > 0 {
 		next := l.queue.pop()
@@ -306,7 +370,7 @@ func (l *Link) onTxDone() {
 // injects.
 //
 //pftk:hotpath
-func (l *Link) propagate(payload any, deliver func(any)) {
+func (l *Link) propagate(payload pkt.Packet, deliver func(pkt.Packet)) {
 	d := 0.0
 	if l.cfg.Delay != nil {
 		d = l.cfg.Delay.Delay(l.eng.Now())
@@ -322,8 +386,11 @@ func (l *Link) propagate(payload any, deliver func(any)) {
 		l.lastOut = at
 	}
 	l.stats.Delivered++
+	if fs := l.flowEntry(payload); fs != nil {
+		fs.Delivered++
+	}
 	l.cfg.Metrics.Delivered.Inc()
-	l.eng.ScheduleArg(at, deliver, payload)
+	l.eng.SchedulePacket(at, deliver, payload)
 }
 
 // SetLoss replaces the link's loss model; nil disables loss. Effective

@@ -3,6 +3,7 @@ package netem
 import (
 	"testing"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -11,16 +12,16 @@ import (
 // the path under test).
 var benchSink int
 
-func benchDeliver(any) { benchSink++ }
+func benchDeliver(pkt.Packet) { benchSink++ }
 
 // BenchmarkLinkSend measures the full per-packet link cycle on a
 // rate-limited queued link: admit, serialize, propagate, deliver. The
-// payload is pre-boxed, so the measured loop is exactly the simulator's
+// payload is a typed value, so the measured loop is exactly the simulator's
 // steady state — ring-buffer slots and arena events all recycled.
 func BenchmarkLinkSend(b *testing.B) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 1e6, QueueCap: 64, Delay: ConstantDelay(0.001)})
-	var payload any = &struct{ n int }{}
+	payload := pkt.Packet{Seq: 1}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -35,13 +36,13 @@ func BenchmarkLinkSend(b *testing.B) {
 }
 
 // TestLinkSendZeroAlloc is the acceptance guard for the link hot path:
-// with observability disabled and the payload boxed by the caller (as the
-// Reno stack boxes its packets), Send plus the event processing it
-// triggers allocates nothing in steady state.
+// with observability disabled, Send plus the event processing it
+// triggers allocates nothing in steady state — no interface boxing
+// anywhere on the typed packet path.
 func TestLinkSendZeroAlloc(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 1e6, QueueCap: 64, Delay: ConstantDelay(0.001)})
-	var payload any = &struct{ n int }{}
+	payload := pkt.Packet{Seq: 1}
 	// Warm the ring, heap and arena past their growth phase.
 	for i := 0; i < 128; i++ {
 		l.Send(payload, benchDeliver)
@@ -62,7 +63,7 @@ func TestLinkSendZeroAlloc(t *testing.T) {
 func TestLinkSendZeroAllocWhileQueueing(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 100, QueueCap: 32, Delay: ConstantDelay(0.001)})
-	var payload any = &struct{ n int }{}
+	payload := pkt.Packet{Seq: 1}
 	for i := 0; i < 64; i++ {
 		l.Send(payload, benchDeliver)
 	}

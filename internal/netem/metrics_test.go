@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pftk/internal/obs"
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -22,7 +23,7 @@ func TestLinkMetricsMatchStats(t *testing.T) {
 	})
 	delivered := 0
 	for i := 0; i < 200; i++ {
-		l.Send(i, func(any) { delivered++ })
+		l.Send(pk(i), func(pkt.Packet) { delivered++ })
 	}
 	eng.Run()
 
@@ -62,7 +63,7 @@ func TestREDDropsAttributed(t *testing.T) {
 		Metrics:  NewLinkMetrics(reg, "netem.fwd"),
 	}, sim.NewRNG(7))
 	for i := 0; i < 400; i++ {
-		l.Send(i, func(any) {})
+		l.Send(pk(i), func(pkt.Packet) {})
 	}
 	eng.Run()
 	snap := reg.Snapshot()
@@ -86,9 +87,9 @@ func TestLinkMetricsAllocationFree(t *testing.T) {
 	measure := func(m LinkMetrics) float64 {
 		var eng sim.Engine
 		l := NewLink(&eng, LinkConfig{Metrics: m})
-		deliver := func(any) {}
+		deliver := func(pkt.Packet) {}
 		return testing.AllocsPerRun(200, func() {
-			l.Send(nil, deliver)
+			l.Send(pk(0), deliver)
 			eng.Run()
 		})
 	}

@@ -1,6 +1,9 @@
 package netem
 
-import "pftk/internal/sim"
+import (
+	"pftk/internal/pkt"
+	"pftk/internal/sim"
+)
 
 // MultiHop chains several links into one logical direction: a packet
 // traverses hop 0, then hop 1, and so on, accumulating each hop's
@@ -29,7 +32,7 @@ func (m *MultiHop) NumHops() int { return len(m.hops) }
 
 // Send offers a packet to the first hop; deliver fires when (and if) it
 // exits the last.
-func (m *MultiHop) Send(payload any, deliver func(any)) {
+func (m *MultiHop) Send(payload pkt.Packet, deliver func(pkt.Packet)) {
 	if len(m.hops) == 0 {
 		deliver(payload)
 		return
@@ -37,12 +40,12 @@ func (m *MultiHop) Send(payload any, deliver func(any)) {
 	m.forward(0, payload, deliver)
 }
 
-func (m *MultiHop) forward(hop int, payload any, deliver func(any)) {
+func (m *MultiHop) forward(hop int, payload pkt.Packet, deliver func(pkt.Packet)) {
 	if hop == len(m.hops)-1 {
 		m.hops[hop].Send(payload, deliver)
 		return
 	}
-	m.hops[hop].Send(payload, func(p any) {
+	m.hops[hop].Send(payload, func(p pkt.Packet) {
 		m.forward(hop+1, p, deliver)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -15,7 +16,7 @@ func TestMultiHopAccumulatesDelay(t *testing.T) {
 		LinkConfig{Delay: ConstantDelay(0.03)},
 	)
 	var at float64
-	m.Send("x", func(any) { at = eng.Now() })
+	m.Send(pk(1), func(pkt.Packet) { at = eng.Now() })
 	eng.Run()
 	if math.Abs(at-0.06) > 1e-12 {
 		t.Errorf("arrival at %g, want 0.06", at)
@@ -36,7 +37,7 @@ func TestMultiHopBottleneckGovernsThroughput(t *testing.T) {
 	)
 	var times []float64
 	for i := 0; i < 5; i++ {
-		m.Send(i, func(any) { times = append(times, eng.Now()) })
+		m.Send(pk(i), func(pkt.Packet) { times = append(times, eng.Now()) })
 	}
 	eng.Run()
 	if len(times) != 5 {
@@ -57,7 +58,7 @@ func TestMultiHopLossAtAnyHop(t *testing.T) {
 	)
 	delivered := 0
 	for i := 0; i < 3; i++ {
-		m.Send(i, func(any) { delivered++ })
+		m.Send(pk(i), func(pkt.Packet) { delivered++ })
 	}
 	eng.Run()
 	// Packet 0 dies at hop 0; packet 1 survives hop 0 but is the first
@@ -75,7 +76,7 @@ func TestMultiHopEmptyChain(t *testing.T) {
 	var eng sim.Engine
 	m := NewMultiHop(&eng)
 	delivered := false
-	m.Send("x", func(any) { delivered = true })
+	m.Send(pk(1), func(pkt.Packet) { delivered = true })
 	if !delivered {
 		t.Error("empty chain should deliver synchronously")
 	}
@@ -92,7 +93,7 @@ func TestMultiHopPreservesFIFO(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		i := i
 		eng.Schedule(float64(i)*0.001, func() {
-			m.Send(i, func(p any) { order = append(order, p.(int)) })
+			m.Send(pk(i), func(p pkt.Packet) { order = append(order, int(p.Seq)) })
 		})
 	}
 	eng.Run()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -186,7 +187,7 @@ func TestLinkDeliversInstantWhenInfinitelyFast(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Delay: ConstantDelay(0.05)})
 	var arrived []float64
-	l.Send("a", func(any) { arrived = append(arrived, eng.Now()) })
+	l.Send(pk(1), func(pkt.Packet) { arrived = append(arrived, eng.Now()) })
 	eng.Run()
 	if len(arrived) != 1 || arrived[0] != 0.05 {
 		t.Errorf("arrived = %v, want [0.05]", arrived)
@@ -202,9 +203,9 @@ func TestLinkSerialization(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 10, QueueCap: 10})
 	var times []float64
-	deliver := func(any) { times = append(times, eng.Now()) }
+	deliver := func(pkt.Packet) { times = append(times, eng.Now()) }
 	for i := 0; i < 3; i++ {
-		l.Send(i, deliver)
+		l.Send(pk(i), deliver)
 	}
 	eng.Run()
 	want := []float64{0.1, 0.2, 0.3}
@@ -223,7 +224,7 @@ func TestLinkDropTail(t *testing.T) {
 	l := NewLink(&eng, LinkConfig{Rate: 1, QueueCap: 2})
 	delivered := 0
 	for i := 0; i < 10; i++ {
-		l.Send(i, func(any) { delivered++ })
+		l.Send(pk(i), func(pkt.Packet) { delivered++ })
 	}
 	eng.Run()
 	// 1 in service + 2 queued survive; 7 dropped.
@@ -246,8 +247,8 @@ func TestLinkZeroQueueCap(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 1, QueueCap: 0})
 	delivered := 0
-	l.Send(1, func(any) { delivered++ })
-	l.Send(2, func(any) { delivered++ })
+	l.Send(pk(1), func(pkt.Packet) { delivered++ })
+	l.Send(pk(2), func(pkt.Packet) { delivered++ })
 	eng.Run()
 	if delivered != 1 {
 		t.Errorf("delivered = %d, want 1 with no buffering", delivered)
@@ -258,8 +259,8 @@ func TestLinkRandomLossBeforeQueue(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Loss: NewScript(0)})
 	delivered := 0
-	l.Send("dropme", func(any) { delivered++ })
-	l.Send("keepme", func(any) { delivered++ })
+	l.Send(pk(1), func(pkt.Packet) { delivered++ })
+	l.Send(pk(2), func(pkt.Packet) { delivered++ })
 	eng.Run()
 	if delivered != 1 {
 		t.Errorf("delivered = %d, want 1", delivered)
@@ -275,7 +276,7 @@ func TestLinkFIFOOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 20; i++ {
 		i := i
-		l.Send(i, func(p any) { order = append(order, p.(int)) })
+		l.Send(pk(i), func(p pkt.Packet) { order = append(order, int(p.Seq)) })
 	}
 	eng.Run()
 	for i, v := range order {
@@ -288,13 +289,28 @@ func TestLinkFIFOOrder(t *testing.T) {
 func TestLinkPayloadIntegrity(t *testing.T) {
 	var eng sim.Engine
 	l := NewLink(&eng, LinkConfig{Rate: 10, QueueCap: 5, Delay: ConstantDelay(0.01)})
-	var got []string
-	for _, s := range []string{"x", "y", "z"} {
-		l.Send(s, func(p any) { got = append(got, p.(string)) })
+	var got []pkt.Packet
+	for i, k := range []pkt.Kind{pkt.Data, pkt.Ack, pkt.Feedback} {
+		l.Send(pkt.Packet{Seq: uint64(i + 1), Kind: k, Flow: int32(i), Sent: float64(i) * 0.5, Retx: i == 2},
+			func(p pkt.Packet) { got = append(got, p) })
 	}
 	eng.Run()
-	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
-		t.Errorf("payloads = %v", got)
+	if len(got) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(got))
+	}
+	for i, p := range got {
+		want := pkt.Packet{Seq: uint64(i + 1), Flow: int32(i), Sent: float64(i) * 0.5, Retx: i == 2}
+		switch i {
+		case 0:
+			want.Kind = pkt.Data
+		case 1:
+			want.Kind = pkt.Ack
+		case 2:
+			want.Kind = pkt.Feedback
+		}
+		if p != want {
+			t.Errorf("packet %d = %+v, want %+v", i, p, want)
+		}
 	}
 }
 
@@ -302,8 +318,8 @@ func TestPathDirections(t *testing.T) {
 	var eng sim.Engine
 	p := NewPath(&eng, SymmetricPath(0.05, nil))
 	var fwdAt, revAt float64
-	p.Forward.Send("data", func(any) { fwdAt = eng.Now() })
-	p.Reverse.Send("ack", func(any) { revAt = eng.Now() })
+	p.Forward.Send(pk(1), func(pkt.Packet) { fwdAt = eng.Now() })
+	p.Reverse.Send(pk(2), func(pkt.Packet) { revAt = eng.Now() })
 	eng.Run()
 	if fwdAt != 0.05 || revAt != 0.05 {
 		t.Errorf("one-way delays: fwd=%g rev=%g, want 0.05 both", fwdAt, revAt)
@@ -317,7 +333,7 @@ func TestModemPathQueueingDelayGrowsWithBacklog(t *testing.T) {
 	var arrivals []float64
 	n := 10
 	for i := 0; i < n; i++ {
-		p.Forward.Send(i, func(any) { arrivals = append(arrivals, eng.Now()) })
+		p.Forward.Send(pk(i), func(pkt.Packet) { arrivals = append(arrivals, eng.Now()) })
 	}
 	eng.Run()
 	if len(arrivals) != n {
@@ -399,7 +415,7 @@ func TestQuickLinkConservation(t *testing.T) {
 		l := NewLink(&eng, cfg)
 		delivered := 0
 		for i := 0; i < n; i++ {
-			l.Send(i, func(any) { delivered++ })
+			l.Send(pk(i), func(pkt.Packet) { delivered++ })
 			eng.RunUntil(eng.Now() + float64(i%3)*0.005)
 		}
 		eng.Run()
@@ -421,7 +437,7 @@ func TestLinkNilDeliverPanics(t *testing.T) {
 			t.Error("expected panic for nil deliver")
 		}
 	}()
-	l.Send(1, nil)
+	l.Send(pk(1), nil)
 }
 
 func TestNewLinkNilEnginePanics(t *testing.T) {

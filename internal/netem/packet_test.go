@@ -1,0 +1,13 @@
+package netem
+
+import "pftk/internal/pkt"
+
+// pk wraps an integer test payload in a data packet; tests recover it
+// from the sequence number on delivery.
+func pk(i int) pkt.Packet { return pkt.Packet{Seq: uint64(i)} }
+
+// collect returns a deliver callback appending packet sequence numbers
+// (as ints) to out in arrival order.
+func collect(out *[]int) func(pkt.Packet) {
+	return func(p pkt.Packet) { *out = append(*out, int(p.Seq)) }
+}

@@ -3,6 +3,7 @@ package netem
 import (
 	"math"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -101,7 +102,7 @@ func NewREDLink(eng *sim.Engine, cfg LinkConfig, rng *sim.RNG) *REDQueueLink {
 func (l *REDQueueLink) REDDrops() int { return l.redDrops }
 
 // Send offers a packet through RED and then the underlying link.
-func (l *REDQueueLink) Send(payload any, deliver func(any)) {
+func (l *REDQueueLink) Send(payload pkt.Packet, deliver func(pkt.Packet)) {
 	occupancy := l.QueueLen()
 	if l.busy {
 		occupancy++
@@ -110,6 +111,10 @@ func (l *REDQueueLink) Send(payload any, deliver func(any)) {
 		l.redDrops++
 		l.stats.Offered++
 		l.stats.RandomDrops++
+		if fs := l.flowEntry(payload); fs != nil {
+			fs.Offered++
+			fs.RandomDrops++
+		}
 		l.cfg.Metrics.Offered.Inc()
 		l.cfg.Metrics.REDDrops.Inc()
 		return

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -108,7 +109,7 @@ func TestREDLinkDropsUnderLoad(t *testing.T) {
 	for i := 0; i < 60*60; i++ {
 		i := i
 		eng.Schedule(float64(i)/60, func() {
-			l.Send(i, func(any) { delivered++ })
+			l.Send(pk(i), func(pkt.Packet) { delivered++ })
 		})
 	}
 	eng.Run()
@@ -138,7 +139,7 @@ func TestREDLinkIdleNoDrops(t *testing.T) {
 	// empty.
 	for i := 0; i < 100; i++ {
 		eng.Schedule(float64(i)/10, func() {
-			l.Send(i, func(any) { delivered++ })
+			l.Send(pk(i), func(pkt.Packet) { delivered++ })
 		})
 	}
 	eng.Run()

@@ -2,22 +2,9 @@ package reno
 
 import (
 	"pftk/internal/netem"
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
-
-// Packet is one data segment, numbered in packets from 1.
-type Packet struct {
-	Seq uint64
-	// Retx marks retransmissions (diagnostic only; receivers do not see
-	// this bit on a real wire and the receiver logic never reads it).
-	Retx bool
-}
-
-// AckPacket is a cumulative acknowledgment: every packet with Seq < Ack
-// has been received.
-type AckPacket struct {
-	Ack uint64
-}
 
 // ReceiverConfig controls receiver behavior.
 type ReceiverConfig struct {
@@ -30,6 +17,10 @@ type ReceiverConfig struct {
 	// disables the timer entirely (a sender with a one-packet window
 	// then recovers only via RTO, so disable it in tests only).
 	DelAckTimeout float64
+	// FlowID stamps outgoing ACKs so per-flow link counters attribute
+	// them when several flows share a reverse link. Single-flow runs
+	// leave it 0.
+	FlowID int32
 }
 
 func (c ReceiverConfig) normalize() ReceiverConfig {
@@ -50,7 +41,7 @@ type Receiver struct {
 	cfg      ReceiverConfig
 	eng      *sim.Engine
 	reverse  *netem.Link
-	toSender func(any)
+	toSender func(pkt.Packet)
 
 	rcvNext uint64 // next in-order packet expected
 	buffer  map[uint64]bool
@@ -66,7 +57,7 @@ type Receiver struct {
 
 // NewReceiver builds a receiver that sends its ACKs over reverse and
 // delivers them to the sender via toSender.
-func NewReceiver(eng *sim.Engine, reverse *netem.Link, toSender func(any), cfg ReceiverConfig) *Receiver {
+func NewReceiver(eng *sim.Engine, reverse *netem.Link, toSender func(pkt.Packet), cfg ReceiverConfig) *Receiver {
 	r := &Receiver{
 		cfg:      cfg.normalize(),
 		eng:      eng,
@@ -98,15 +89,18 @@ func (r *Receiver) Duplicates() int { return r.duplicates }
 func (r *Receiver) AcksSent() int { return r.acksSent }
 
 // OnPacket handles one arriving data packet. Pass it as the forward link's
-// delivery callback.
-func (r *Receiver) OnPacket(payload any) {
-	pkt, ok := payload.(Packet)
-	if !ok {
-		return // cross traffic shares the link; ignore it
+// delivery callback. Packets of other kinds (cross traffic, other
+// protocols sharing the link) are ignored, as are data packets stamped
+// with another flow's ID.
+//
+//pftk:hotpath
+func (r *Receiver) OnPacket(p pkt.Packet) {
+	if p.Kind != pkt.Data || p.Flow != r.cfg.FlowID {
+		return // the link is shared; this packet is not ours
 	}
 	r.received++
 	switch {
-	case pkt.Seq == r.rcvNext:
+	case p.Seq == r.rcvNext:
 		r.rcvNext++
 		for len(r.buffer) > 0 && r.buffer[r.rcvNext] {
 			delete(r.buffer, r.rcvNext)
@@ -121,10 +115,10 @@ func (r *Receiver) OnPacket(payload any) {
 		} else if r.cfg.DelAckTimeout > 0 && !r.delTimer.Pending() {
 			r.delTimer.Reset(r.cfg.DelAckTimeout)
 		}
-	case pkt.Seq > r.rcvNext:
+	case p.Seq > r.rcvNext:
 		// Out of order: buffer and emit an immediate duplicate ACK.
-		if !r.buffer[pkt.Seq] {
-			r.buffer[pkt.Seq] = true
+		if !r.buffer[p.Seq] {
+			r.buffer[p.Seq] = true
 		} else {
 			r.duplicates++
 		}
@@ -137,9 +131,11 @@ func (r *Receiver) OnPacket(payload any) {
 }
 
 // sendAck emits the current cumulative acknowledgment.
+//
+//pftk:hotpath
 func (r *Receiver) sendAck() {
 	r.delTimer.Stop()
 	r.pending = 0
 	r.acksSent++
-	r.reverse.Send(AckPacket{Ack: r.rcvNext}, r.toSender)
+	r.reverse.Send(pkt.Packet{Seq: r.rcvNext, Kind: pkt.Ack, Flow: r.cfg.FlowID}, r.toSender)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pftk/internal/netem"
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 	"pftk/internal/trace"
 )
@@ -357,11 +358,11 @@ func TestAckEveryOneAcksEachPacket(t *testing.T) {
 func TestReceiverFillsHoles(t *testing.T) {
 	var eng sim.Engine
 	var acks []uint64
-	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(p any) {
-		acks = append(acks, p.(AckPacket).Ack)
+	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(p pkt.Packet) {
+		acks = append(acks, p.Seq)
 	}, ReceiverConfig{AckEvery: 1})
 	for _, seq := range []uint64{1, 3, 4, 2, 5} {
-		rcv.OnPacket(Packet{Seq: seq})
+		rcv.OnPacket(pkt.Packet{Seq: seq})
 		eng.Run()
 	}
 	if rcv.Delivered() != 5 {
@@ -381,11 +382,11 @@ func TestReceiverFillsHoles(t *testing.T) {
 
 func TestReceiverCountsDuplicates(t *testing.T) {
 	var eng sim.Engine
-	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(any) {}, ReceiverConfig{AckEvery: 1})
-	rcv.OnPacket(Packet{Seq: 1})
-	rcv.OnPacket(Packet{Seq: 1})
-	rcv.OnPacket(Packet{Seq: 3})
-	rcv.OnPacket(Packet{Seq: 3})
+	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(pkt.Packet) {}, ReceiverConfig{AckEvery: 1})
+	rcv.OnPacket(pkt.Packet{Seq: 1})
+	rcv.OnPacket(pkt.Packet{Seq: 1})
+	rcv.OnPacket(pkt.Packet{Seq: 3})
+	rcv.OnPacket(pkt.Packet{Seq: 3})
 	eng.Run()
 	if rcv.Duplicates() != 2 {
 		t.Errorf("duplicates = %d, want 2", rcv.Duplicates())
@@ -397,8 +398,8 @@ func TestReceiverCountsDuplicates(t *testing.T) {
 
 func TestReceiverIgnoresCrossTraffic(t *testing.T) {
 	var eng sim.Engine
-	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(any) {}, ReceiverConfig{})
-	rcv.OnPacket(struct{}{}) // non-Packet payload
+	rcv := NewReceiver(&eng, netem.NewLink(&eng, netem.LinkConfig{}), func(pkt.Packet) {}, ReceiverConfig{})
+	rcv.OnPacket(pkt.Packet{Kind: pkt.Cross}) // non-data payload
 	if rcv.Received() != 0 {
 		t.Error("cross traffic should not count as received data")
 	}

@@ -3,6 +3,7 @@ package reno
 import (
 	"math"
 
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 	"pftk/internal/trace"
 )
@@ -33,6 +34,10 @@ type SenderConfig struct {
 	// are acknowledged. Zero keeps the paper's saturated
 	// infinite-source sender.
 	TotalPackets uint64
+	// FlowID stamps outgoing data packets so shared links can attribute
+	// them per flow; ACKs stamped with a different flow ID are ignored.
+	// Single-flow runs leave it 0.
+	FlowID int32
 	// Metrics holds optional observability handles; the zero value
 	// disables collection (see Metrics).
 	Metrics Metrics
@@ -88,7 +93,7 @@ func (s SenderStats) LossIndications() int { return s.TDEvents + s.TimeoutEvents
 // direction of a path; *netem.Link and *netem.REDQueueLink both satisfy
 // it.
 type DataPath interface {
-	Send(payload any, deliver func(any))
+	Send(payload pkt.Packet, deliver func(pkt.Packet))
 }
 
 // Sender is a saturated TCP Reno sender.
@@ -96,7 +101,7 @@ type Sender struct {
 	cfg     SenderConfig
 	eng     *sim.Engine
 	forward DataPath
-	toRecv  func(any)
+	toRecv  func(pkt.Packet)
 	est     *RTOEstimator
 
 	// Congestion state. Sequence numbers count packets from 1; una is
@@ -155,7 +160,7 @@ func NewSender(eng *sim.Engine, forward DataPath, cfg SenderConfig) *Sender {
 // SetDeliver sets the callback invoked at the receiver side of the
 // forward path for every packet that survives it (normally the receiver's
 // OnPacket).
-func (s *Sender) SetDeliver(fn func(any)) { s.toRecv = fn }
+func (s *Sender) SetDeliver(fn func(pkt.Packet)) { s.toRecv = fn }
 
 // Start begins transmitting.
 func (s *Sender) Start() { s.trySend() }
@@ -248,7 +253,7 @@ func (s *Sender) sendNew(seq uint64) {
 		s.timedFlight = s.InFlight()
 		s.timedValid = true
 	}
-	s.forward.Send(Packet{Seq: seq}, s.toRecv)
+	s.forward.Send(pkt.Packet{Seq: seq, Flow: s.cfg.FlowID}, s.toRecv)
 	if !s.rtoTimer.Pending() {
 		s.restartRTO()
 	}
@@ -263,7 +268,7 @@ func (s *Sender) resend(seq uint64) {
 	if s.timing && seq == s.timedSeq {
 		s.timedValid = false
 	}
-	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
+	s.forward.Send(pkt.Packet{Seq: seq, Retx: true, Flow: s.cfg.FlowID}, s.toRecv)
 	if !s.rtoTimer.Pending() {
 		s.restartRTO()
 	}
@@ -285,7 +290,7 @@ func (s *Sender) retransmit(seq uint64, timeout bool) {
 		// Karn's rule: a retransmitted segment yields no RTT sample.
 		s.timedValid = false
 	}
-	s.forward.Send(Packet{Seq: seq, Retx: true}, s.toRecv)
+	s.forward.Send(pkt.Packet{Seq: seq, Retx: true, Flow: s.cfg.FlowID}, s.toRecv)
 }
 
 // effectiveRTO applies exponential backoff with the variant's cap. The
@@ -363,19 +368,22 @@ func (s *Sender) setCwnd(w float64) {
 }
 
 // OnAck handles one arriving cumulative acknowledgment. Pass it as the
-// reverse link's delivery callback.
-func (s *Sender) OnAck(payload any) {
-	ack, ok := payload.(AckPacket)
-	if !ok || s.closed {
+// reverse link's delivery callback. Non-ACK packets and ACKs stamped
+// with another flow's ID are ignored.
+//
+//pftk:hotpath
+func (s *Sender) OnAck(p pkt.Packet) {
+	if p.Kind != pkt.Ack || p.Flow != s.cfg.FlowID || s.closed {
 		return
 	}
+	ack := p.Seq
 	s.stats.AcksReceived++
 	s.cfg.Metrics.Acks.Inc()
-	s.log(trace.Record{Kind: trace.KindAck, Ack: ack.Ack})
+	s.log(trace.Record{Kind: trace.KindAck, Ack: ack})
 	switch {
-	case ack.Ack > s.una:
-		s.onNewAck(ack.Ack)
-	case ack.Ack == s.una && s.InFlight() > 0:
+	case ack > s.una:
+		s.onNewAck(ack)
+	case ack == s.una && s.InFlight() > 0:
 		s.onDupAck()
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"pftk/internal/netem"
 	"pftk/internal/obs"
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -15,7 +16,7 @@ func pump(eng *sim.Engine, p *netem.Path, horizon float64, arrivals *[]float64) 
 	for t := 0.5; t < horizon; t++ {
 		at := t
 		eng.Schedule(at, func() {
-			p.Forward.Send(int(at), func(any) { *arrivals = append(*arrivals, eng.Now()) })
+			p.Forward.Send(pkt.Packet{Seq: uint64(at)}, func(pkt.Packet) { *arrivals = append(*arrivals, eng.Now()) })
 		})
 	}
 }
@@ -59,9 +60,9 @@ func TestPhaseChangesRTTMidRun(t *testing.T) {
 	Bind(&eng, p, Config{Scenario: sc, RNG: sim.NewRNG(1), Base: Base{RTT: 0.1}, Horizon: 10})
 
 	var arrivals []float64
-	deliver := func(any) { arrivals = append(arrivals, eng.Now()) }
-	eng.Schedule(1, func() { p.Forward.Send(1, deliver) })
-	eng.Schedule(6, func() { p.Forward.Send(2, deliver) })
+	deliver := func(pkt.Packet) { arrivals = append(arrivals, eng.Now()) }
+	eng.Schedule(1, func() { p.Forward.Send(pkt.Packet{Seq: 1}, deliver) })
+	eng.Schedule(6, func() { p.Forward.Send(pkt.Packet{Seq: 2}, deliver) })
 	eng.Run()
 
 	if len(arrivals) != 2 {
@@ -83,15 +84,15 @@ func TestOutageFaultWindow(t *testing.T) {
 	r := Bind(&eng, p, Config{Scenario: sc, RNG: sim.NewRNG(1), Base: Base{RTT: 0.1}, Horizon: 6, Registry: reg})
 
 	var got []int
-	deliver := func(pl any) { got = append(got, pl.(int)) }
-	eng.Schedule(1, func() { p.Forward.Send(1, deliver) })
+	deliver := func(pl pkt.Packet) { got = append(got, int(pl.Seq)) }
+	eng.Schedule(1, func() { p.Forward.Send(pkt.Packet{Seq: 1}, deliver) })
 	eng.Schedule(3, func() {
 		if r.ActiveFaults() != 1 {
 			t.Errorf("ActiveFaults() = %d inside window, want 1", r.ActiveFaults())
 		}
-		p.Forward.Send(2, deliver)
+		p.Forward.Send(pkt.Packet{Seq: 2}, deliver)
 	})
-	eng.Schedule(5, func() { p.Forward.Send(3, deliver) })
+	eng.Schedule(5, func() { p.Forward.Send(pkt.Packet{Seq: 3}, deliver) })
 	eng.Run()
 
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
@@ -145,10 +146,10 @@ func TestOverlappingFaultsCompose(t *testing.T) {
 	Bind(&eng, p, Config{Scenario: sc, RNG: sim.NewRNG(1), Base: Base{RTT: 0.1}, Horizon: 10})
 
 	var arrivals []float64
-	deliver := func(any) { arrivals = append(arrivals, eng.Now()) }
-	eng.Schedule(3, func() { p.Forward.Send(1, deliver) })   // both spikes active
-	eng.Schedule(4.5, func() { p.Forward.Send(2, deliver) }) // only the first
-	eng.Schedule(6, func() { p.Forward.Send(3, deliver) })   // none
+	deliver := func(pkt.Packet) { arrivals = append(arrivals, eng.Now()) }
+	eng.Schedule(3, func() { p.Forward.Send(pkt.Packet{Seq: 1}, deliver) })   // both spikes active
+	eng.Schedule(4.5, func() { p.Forward.Send(pkt.Packet{Seq: 2}, deliver) }) // only the first
+	eng.Schedule(6, func() { p.Forward.Send(pkt.Packet{Seq: 3}, deliver) })   // none
 	eng.Run()
 
 	want := []float64{3 + 0.05 + 0.3, 4.5 + 0.05 + 0.1, 6 + 0.05}
@@ -168,7 +169,7 @@ func TestDuplicateFaultWindow(t *testing.T) {
 	sc := &Scenario{Faults: []Fault{{Kind: KindDuplicate, Start: 0, Dur: 10, Prob: 1}}}
 	r := Bind(&eng, p, Config{Scenario: sc, RNG: sim.NewRNG(1), Base: Base{RTT: 0.1}, Horizon: 10})
 	var got []int
-	eng.Schedule(1, func() { p.Forward.Send(1, func(pl any) { got = append(got, pl.(int)) }) })
+	eng.Schedule(1, func() { p.Forward.Send(pkt.Packet{Seq: 1}, func(pl pkt.Packet) { got = append(got, int(pl.Seq)) }) })
 	eng.Run()
 	r.Finish()
 	if len(got) != 2 {
@@ -200,8 +201,8 @@ func scenarioFingerprint(seed uint64) string {
 	for t := 0.25; t < 30; t += 0.25 {
 		at := t
 		eng.Schedule(at, func() {
-			p.Forward.Send(at, func(pl any) {
-				out += fmt.Sprintf("%v@%v;", pl, eng.Now())
+			p.Forward.Send(pkt.Packet{Sent: at}, func(pl pkt.Packet) {
+				out += fmt.Sprintf("%v@%v;", pl.Sent, eng.Now())
 			})
 		})
 	}
@@ -248,7 +249,9 @@ func TestNilScenarioBindsBaseOnly(t *testing.T) {
 	p := netem.NewPath(&eng, netem.SymmetricPath(0.05, nil))
 	r := Bind(&eng, p, Config{Scenario: nil, RNG: sim.NewRNG(1), Base: Base{RTT: 0.2}})
 	var arrivals []float64
-	eng.Schedule(1, func() { p.Forward.Send(1, func(any) { arrivals = append(arrivals, eng.Now()) }) })
+	eng.Schedule(1, func() {
+		p.Forward.Send(pkt.Packet{Seq: 1}, func(pkt.Packet) { arrivals = append(arrivals, eng.Now()) })
+	})
 	eng.Run()
 	if len(arrivals) != 1 || arrivals[0] != 1.1 {
 		t.Fatalf("arrivals = %v, want [1.1] (base one-way 0.1)", arrivals)

@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"pftk/internal/invariant"
+	"pftk/internal/pkt"
 )
 
 // Event is a cheap value handle for a scheduled callback. The zero Event
@@ -45,12 +46,15 @@ type Event struct {
 
 // slot is one arena entry. Fire time and sequence number live in the heap
 // node, not here: the sift loops touch only the heap's contiguous nodes.
+// The packet payload rides in the slot as a typed value — no interface
+// boxing, and because pkt.Packet is pointer-free a recycled slot retains
+// no heap references without any per-recycle clearing.
 type slot struct {
-	fn      func()    // callback for Schedule/After events
-	argFn   func(any) // callback for ScheduleArg events
-	arg     any       // argument delivered to argFn
-	gen     uint32    // bumped on recycle; validates Event handles
-	heapIdx int32     // position in Engine.heap, -1 when not queued
+	fn      func()           // callback for Schedule/After events
+	pktFn   func(pkt.Packet) // callback for SchedulePacket events
+	pkt     pkt.Packet       // payload delivered to pktFn
+	gen     uint32           // bumped on recycle; validates Event handles
+	heapIdx int32            // position in Engine.heap, -1 when not queued
 }
 
 // node is one heap entry, ordered by (at, seq).
@@ -156,29 +160,30 @@ func (e *Engine) Schedule(at float64, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	return e.schedule(at, fn, nil, nil)
+	return e.schedule(at, fn, nil, pkt.Packet{})
 }
 
-// ScheduleArg runs fn(arg) at absolute time at. It is Schedule for
-// payload-carrying callbacks: the argument rides in the event's arena
-// slot, so hot paths that deliver a payload (link propagation) need no
-// per-event closure. Scheduling rules match Schedule exactly, and the
-// event draws from the same sequence space, so Schedule and ScheduleArg
-// calls interleave deterministically.
+// SchedulePacket runs fn(p) at absolute time at. It is Schedule for
+// packet-carrying callbacks: the typed payload rides in the event's
+// arena slot, so hot paths that deliver a packet (link propagation)
+// need neither a per-event closure nor an interface box. Scheduling
+// rules match Schedule exactly, and the event draws from the same
+// sequence space, so Schedule and SchedulePacket calls interleave
+// deterministically.
 //
 //pftk:hotpath
-func (e *Engine) ScheduleArg(at float64, fn func(any), arg any) Event {
+func (e *Engine) SchedulePacket(at float64, fn func(pkt.Packet), p pkt.Packet) Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	return e.schedule(at, nil, fn, arg)
+	return e.schedule(at, nil, fn, p)
 }
 
 // schedule allocates a slot (reusing the free list), pushes a heap node
 // and returns the generation-counted handle.
 //
 //pftk:hotpath
-func (e *Engine) schedule(at float64, fn func(), argFn func(any), arg any) Event {
+func (e *Engine) schedule(at float64, fn func(), pktFn func(pkt.Packet), p pkt.Packet) Event {
 	if invariant.Enabled {
 		// Stricter than the NaN/past check below: +Inf event times are
 		// legal (they simply never fire before any finite deadline) but
@@ -199,8 +204,8 @@ func (e *Engine) schedule(at float64, fn func(), argFn func(any), arg any) Event
 	}
 	s := &e.slots[id]
 	s.fn = fn
-	s.argFn = argFn
-	s.arg = arg
+	s.pktFn = pktFn
+	s.pkt = p
 	seq := e.nextSeq
 	e.nextSeq++
 	//pftklint:ignore hotalloc heap growth is amortized; capacity tracks the peak queue depth
@@ -262,7 +267,7 @@ func (e *Engine) Step() bool {
 	}
 	top := e.popMin()
 	s := &e.slots[top.id]
-	fn, argFn, arg := s.fn, s.argFn, s.arg
+	fn, pktFn, p := s.fn, s.pktFn, s.pkt
 	e.recycle(top.id)
 	e.now = top.at
 	e.fired++
@@ -274,7 +279,7 @@ func (e *Engine) Step() bool {
 	if fn != nil {
 		fn()
 	} else {
-		argFn(arg)
+		pktFn(p)
 	}
 	if e.hooks.EventFired != nil {
 		e.hooks.EventFired(e.now, len(e.heap))
@@ -312,16 +317,17 @@ func (e *Engine) Run() uint64 {
 }
 
 // recycle returns a slot to the free list, bumping its generation so
-// outstanding handles go stale, and dropping callback/payload references
-// so the pool never pins caller memory.
+// outstanding handles go stale, and dropping callback references so the
+// pool never pins caller memory. The packet payload is left in place:
+// pkt.Packet is pointer-free, so a stale copy pins nothing and the next
+// occupant overwrites it.
 //
 //pftk:hotpath
 func (e *Engine) recycle(id int32) {
 	s := &e.slots[id]
 	s.gen++
 	s.fn = nil
-	s.argFn = nil
-	s.arg = nil
+	s.pktFn = nil
 	s.heapIdx = -1
 	//pftklint:ignore hotalloc free-list growth is amortized and bounded by the arena size
 	e.free = append(e.free, id)

@@ -21,6 +21,7 @@ import (
 
 	"pftk/internal/core"
 	"pftk/internal/netem"
+	"pftk/internal/pkt"
 	"pftk/internal/sim"
 )
 
@@ -96,23 +97,10 @@ func (h *LossHistory) LossEventRate() float64 {
 	return 1 / ai
 }
 
-// Packet is one datagram of the rate-based flow.
-type Packet struct {
-	Seq  uint64
-	Sent float64
-}
-
-// Feedback is the receiver report, delivered once per RTT.
-type Feedback struct {
-	// P is the loss event rate.
-	P float64
-	// RecvRate is the receive rate over the last feedback interval in
-	// packets per second.
-	RecvRate float64
-	// EchoSent echoes the send timestamp of the most recent packet for
-	// RTT measurement.
-	EchoSent float64
-}
+// On the wire a TFRC flow uses two pkt.Packet kinds: pkt.RateData for
+// the paced datagrams (Seq, Sent) and pkt.Feedback for the once-per-RTT
+// receiver report (P, Rate as the receive rate, Sent echoing the send
+// timestamp of the most recent packet for RTT measurement).
 
 // Config parameterizes a TFRC flow.
 type Config struct {
@@ -127,6 +115,9 @@ type Config struct {
 	// (default 2, TFRC commonly uses 1; the paper's formula takes it as
 	// a parameter).
 	B int
+	// FlowID stamps outgoing packets so shared links can attribute them
+	// per flow; packets stamped with another flow's ID are ignored.
+	FlowID int32
 }
 
 func (c Config) normalize() Config {
@@ -148,7 +139,7 @@ func (c Config) normalize() Config {
 // Link is the transmit interface a flow needs from each path direction;
 // *netem.Link and *netem.REDQueueLink both satisfy it.
 type Link interface {
-	Send(payload any, deliver func(any))
+	Send(payload pkt.Packet, deliver func(pkt.Packet))
 }
 
 // Flow is a rate-based sender/receiver pair over an emulated path.
@@ -233,17 +224,16 @@ func (f *Flow) schedulePacket() {
 		}
 		f.nextSeq++
 		f.sent++
-		pkt := Packet{Seq: f.nextSeq, Sent: f.eng.Now()}
-		f.fwd.Send(pkt, f.onReceive)
+		p := pkt.Packet{Seq: f.nextSeq, Sent: f.eng.Now(), Kind: pkt.RateData, Flow: f.cfg.FlowID}
+		f.fwd.Send(p, f.onReceive)
 		f.schedulePacket()
 	})
 }
 
 // onReceive is the receiver side: loss-event detection and periodic
 // feedback.
-func (f *Flow) onReceive(payload any) {
-	pkt, ok := payload.(Packet)
-	if !ok {
+func (f *Flow) onReceive(p pkt.Packet) {
+	if p.Kind != pkt.RateData || p.Flow != f.cfg.FlowID {
 		return
 	}
 	now := f.eng.Now()
@@ -251,7 +241,7 @@ func (f *Flow) onReceive(payload any) {
 	f.recvInWin++
 	f.history.OnPacket()
 
-	if pkt.Seq > f.expected+1 {
+	if p.Seq > f.expected+1 {
 		// Gap: one or more packets lost. Per RFC 5348, losses within
 		// one RTT of a loss event's *start* belong to that event;
 		// later losses begin a new one.
@@ -265,18 +255,20 @@ func (f *Flow) onReceive(payload any) {
 			f.lossEventStart = now
 		}
 	}
-	if pkt.Seq > f.expected {
-		f.expected = pkt.Seq
+	if p.Seq > f.expected {
+		f.expected = p.Seq
 	}
 
 	// Feedback once per FeedbackRTTs·RTT (bootstraps at 100 ms).
 	interval := f.cfg.FeedbackRTTs * math.Max(f.rttEst, 0.1)
 	if now-f.lastFbTime >= interval {
 		win := now - f.lastFbTime
-		fb := Feedback{
-			P:        f.history.LossEventRate(),
-			RecvRate: float64(f.recvInWin) / win,
-			EchoSent: pkt.Sent,
+		fb := pkt.Packet{
+			Kind: pkt.Feedback,
+			Flow: f.cfg.FlowID,
+			P:    f.history.LossEventRate(),
+			Rate: float64(f.recvInWin) / win,
+			Sent: p.Sent,
 		}
 		f.lastFbTime = now
 		f.recvInWin = 0
@@ -285,14 +277,13 @@ func (f *Flow) onReceive(payload any) {
 }
 
 // onFeedback is the sender side: apply the throughput equation.
-func (f *Flow) onFeedback(payload any) {
-	fb, ok := payload.(Feedback)
-	if !ok || f.stopped {
+func (f *Flow) onFeedback(fb pkt.Packet) {
+	if fb.Kind != pkt.Feedback || fb.Flow != f.cfg.FlowID || f.stopped {
 		return
 	}
 	// RTT sample: now - send time of the echoed packet (the feedback
 	// path adds the reverse delay, as in real TFRC).
-	sample := f.eng.Now() - fb.EchoSent
+	sample := f.eng.Now() - fb.Sent
 	if sample > 0 {
 		if f.rttEst == 0 {
 			f.rttEst = sample
@@ -304,13 +295,13 @@ func (f *Flow) onFeedback(payload any) {
 	if fb.P <= 0 {
 		// No loss seen yet: double per feedback interval, bounded by
 		// twice the receive rate (RFC 5348 slow start).
-		target = math.Min(2*f.rate, 2*math.Max(fb.RecvRate, 1))
+		target = math.Min(2*f.rate, 2*math.Max(fb.Rate, 1))
 	} else {
 		pr := core.Params{RTT: math.Max(f.rttEst, 1e-3), T0: 4 * math.Max(f.rttEst, 1e-3), Wm: 0, B: f.cfg.B}
 		target = core.SendRateApprox(fb.P, pr)
 		// RFC 5348 bounds the send rate by twice the reported receive
 		// rate to stay responsive to reductions.
-		target = math.Min(target, 2*math.Max(fb.RecvRate, 0.5))
+		target = math.Min(target, 2*math.Max(fb.Rate, 0.5))
 	}
 	f.rate = math.Min(math.Max(target, 0.5), f.cfg.MaxRate)
 	f.RateLog = append(f.RateLog, RatePoint{Time: f.eng.Now(), Rate: f.rate})

@@ -141,6 +141,57 @@ func WithLinkStats(dst *PathStats) SimOption {
 	return func(c *SimConfig) { c.linkStats = dst }
 }
 
+// WithFlows runs the given flows concurrently on one simulation engine
+// instead of a single saturated transfer. With WithBottleneck they
+// share one link; otherwise each flow runs over its own private path.
+// The result's Flows, FlowResults and Fairness fields carry the
+// per-flow and aggregate outcomes:
+//
+//	res := pftk.Sim(
+//		pftk.WithFlows(
+//			pftk.Flow{Variant: "reno", RTT: 0.08},
+//			pftk.Flow{Variant: "tfrc", RTT: 0.08},
+//		),
+//		pftk.WithBottleneck(pftk.Bottleneck{Rate: 60, QueueCap: 20, OneWay: 0.04}),
+//		pftk.WithDuration(500),
+//	)
+//	fmt.Println(res.Fairness.Jain)
+//
+// Scenario, observability and flight-recorder options apply only to
+// single-flow runs and are ignored in multi-flow mode.
+func WithFlows(flows ...Flow) SimOption {
+	return func(c *SimConfig) { c.flows = flows }
+}
+
+// WithFlowCount replicates the single-flow knobs (WithPath, WithLoss,
+// WithOS, WithWindow, ...) into n identical flows — the symmetric
+// population of the fairness experiments. Ignored when WithFlows
+// supplies explicit specs. Per-flow random streams are forked from the
+// run seed by flow index.
+func WithFlowCount(n int) SimOption {
+	return func(c *SimConfig) { c.flowCount = n }
+}
+
+// WithBottleneck routes every flow of a multi-flow run through one
+// shared link, making the flows compete: congestive loss comes from the
+// common queue rather than each flow's private loss process. A
+// non-positive Rate (the zero value) keeps the flows on disjoint paths.
+func WithBottleneck(b Bottleneck) SimOption {
+	return func(c *SimConfig) { c.bottleneck = b }
+}
+
+// WithTransfer makes the run a finite n-packet transfer: the simulation
+// stops when the last packet is delivered or at deadline, whichever
+// comes first, and the result's TransferTime / TransferComplete fields
+// report the outcome — the short-flow counterpart of the default
+// saturated run. Replaces the deprecated SimulateTransfer.
+func WithTransfer(n int, deadline float64) SimOption {
+	return func(c *SimConfig) {
+		c.totalPackets = uint64(n)
+		c.transferDeadline = deadline
+	}
+}
+
 // analyzeConfig collects Analyze's options.
 type analyzeConfig struct {
 	dupThreshold int

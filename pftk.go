@@ -39,6 +39,7 @@ package pftk
 import (
 	"pftk/internal/analysis"
 	"pftk/internal/core"
+	"pftk/internal/multiflow"
 	"pftk/internal/netem"
 	"pftk/internal/obs"
 	"pftk/internal/reno"
@@ -128,8 +129,46 @@ type LossEvent = analysis.LossEvent
 // Interval is one fixed-width analysis interval of a trace.
 type Interval = analysis.Interval
 
-// SimResult is the outcome of a simulated bulk transfer.
-type SimResult = reno.Result
+// SimResult is the outcome of a simulated transfer. The embedded
+// reno.Result carries the single-flow measurements (for multi-flow runs
+// it is flow 0's result, kept for drop-in compatibility); the Flows,
+// FlowResults and Fairness fields are populated only by multi-flow runs
+// (WithFlows / WithFlowCount), and the Transfer fields only by finite
+// transfers (WithTransfer).
+type SimResult struct {
+	reno.Result
+	// Flows holds per-flow Table II-style summaries, computed by the
+	// same loss-inference analysis as Analyze, indexed by flow ID.
+	// (TFRC flows have no sender trace and summarize to zero.)
+	Flows []Summary
+	// FlowResults holds each flow's measured rates, loss, RTT,
+	// bottleneck attribution and TD-only model prediction.
+	FlowResults []FlowResult
+	// Fairness aggregates the multi-flow run: Jain's index, aggregate
+	// rate, utilization and the per-flow rate/prediction vectors.
+	Fairness Fairness
+	// TransferTime is the finite transfer's completion time in seconds
+	// (the deadline when it did not finish).
+	TransferTime float64
+	// TransferComplete reports whether the finite transfer finished
+	// before its deadline.
+	TransferComplete bool
+}
+
+// Flow specifies one sender in a multi-flow simulation: its congestion
+// control variant, path parameters and start offset. See WithFlows.
+type Flow = multiflow.FlowSpec
+
+// Bottleneck describes the link shared by all flows of a multi-flow
+// simulation. See WithBottleneck.
+type Bottleneck = multiflow.Bottleneck
+
+// FlowResult is one flow's measured outcome in a multi-flow run.
+type FlowResult = multiflow.FlowResult
+
+// Fairness aggregates a multi-flow run: Jain's index and per-flow rates
+// against the TD-only model predictions.
+type Fairness = multiflow.Fairness
 
 // Scenario is a declarative schedule of path changes and injected
 // faults; see package internal/scenario for the semantics and
@@ -199,8 +238,22 @@ type SimConfig struct {
 	// final link counters after the run.
 	linkStats *PathStats
 	// totalPackets, when positive, makes the transfer finite
-	// (SimulateTransfer).
+	// (WithTransfer, SimulateTransfer).
 	totalPackets uint64
+	// transferDeadline, when positive, selects the finite-transfer
+	// execution path: run until totalPackets complete or the deadline
+	// passes (WithTransfer).
+	transferDeadline float64
+	// flows, when non-empty, selects the multi-flow execution path
+	// (WithFlows).
+	flows []Flow
+	// flowCount, when positive and flows is empty, replicates the
+	// single-flow knobs into that many identical flows (WithFlowCount).
+	flowCount int
+	// bottleneck, when its Rate is positive, routes all flows through
+	// one shared link; otherwise each flow gets a private path
+	// (WithBottleneck).
+	bottleneck Bottleneck
 }
 
 func (c SimConfig) variant() reno.Variant {
@@ -319,6 +372,12 @@ func runSim(c SimConfig) SimResult {
 	if c.Duration <= 0 {
 		c.Duration = 100
 	}
+	if len(c.flows) > 0 || c.flowCount > 0 {
+		return runMultiSim(c)
+	}
+	if c.transferDeadline > 0 {
+		return runTransferSim(c)
+	}
 	conn, runner := buildConn(&c, c.Duration)
 	res := conn.Run(c.Duration)
 	if runner != nil && c.phaseStats != nil {
@@ -330,7 +389,60 @@ func runSim(c SimConfig) SimResult {
 			Reverse: conn.Path.Reverse.Stats(),
 		}
 	}
-	return res
+	return SimResult{Result: res}
+}
+
+// runTransferSim is the finite-transfer execution path (WithTransfer):
+// the same construction as SimulateTransfer always used, so the
+// deprecated wrapper reproduces its traces byte for byte.
+func runTransferSim(c SimConfig) SimResult {
+	deadline := c.transferDeadline
+	conn, _ := buildConn(&c, deadline)
+	res, done := conn.RunUntilComplete(deadline)
+	out := SimResult{Result: res, TransferTime: done}
+	out.TransferComplete = done < deadline
+	if c.linkStats != nil {
+		*c.linkStats = PathStats{
+			Forward: conn.Path.Forward.Stats(),
+			Reverse: conn.Path.Reverse.Stats(),
+		}
+	}
+	return out
+}
+
+// runMultiSim is the multi-flow execution path (WithFlows,
+// WithFlowCount): N flows on one engine, through a shared bottleneck
+// when one is configured and over disjoint private paths otherwise.
+// Scenario, observability and flight-recorder options apply only to
+// single-flow runs and are ignored here.
+func runMultiSim(c SimConfig) SimResult {
+	flows := c.flows
+	if len(flows) == 0 {
+		flows = multiflow.SymmetricFlows(c.flowCount, Flow{
+			Variant:  c.Variant,
+			RTT:      c.RTT,
+			LossRate: c.LossRate,
+			BurstDur: c.BurstDur,
+			Wm:       c.Wm,
+			MinRTO:   c.MinRTO,
+			AckEvery: c.AckEvery,
+		})
+	}
+	mres := multiflow.Run(multiflow.Config{
+		Flows:      flows,
+		Bottleneck: c.bottleneck,
+		Duration:   c.Duration,
+		Seed:       c.Seed,
+	})
+	out := SimResult{Fairness: mres.Fairness}
+	for _, fr := range mres.Flows {
+		out.FlowResults = append(out.FlowResults, fr)
+		out.Flows = append(out.Flows, Analyze(fr.Result.Trace))
+	}
+	if len(mres.Flows) > 0 {
+		out.Result = mres.Flows[0].Result
+	}
+	return out
 }
 
 // Simulate runs a saturated TCP Reno bulk transfer over an emulated path
@@ -395,9 +507,12 @@ func ShortFlowRate(n int, p float64, pr Params) float64 {
 // SimulateTransfer runs a finite n-packet transfer with the given
 // simulation config and returns its completion time in seconds (or the
 // deadline if it never completes).
+//
+// Deprecated: use Sim with WithTransfer(n, deadline) and read
+// TransferTime from the result; SimulateTransfer delegates to the same
+// execution path and produces byte-identical traces.
 func SimulateTransfer(c SimConfig, n int, deadline float64) float64 {
 	c.totalPackets = uint64(n)
-	conn, _ := buildConn(&c, deadline)
-	_, done := conn.RunUntilComplete(deadline)
-	return done
+	c.transferDeadline = deadline
+	return runSim(c).TransferTime
 }
