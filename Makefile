@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-json-smoke bench-serve-json bench-serve-json-smoke chaos-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke trace-smoke scenario-smoke scenario-golden check clean
+.PHONY: all build test test-short race cover bench bench-json bench-json-smoke bench-serve-json bench-serve-json-smoke serve-scale-smoke chaos-smoke fuzz fuzz-ci experiments examples fmt fmtcheck vet lint lint-baseline invariants obs-smoke serve-smoke trace-smoke scenario-smoke scenario-golden check clean
 
 all: build test
 
@@ -172,10 +172,14 @@ trace-smoke:
 	kill -TERM $$pid && wait $$pid
 	rm -rf trace-smoke-out
 
-# Serving throughput baseline: boot pftkd in its default (traced)
-# configuration, drive a closed-loop predict burst, and fold pftkload's
-# JSON report into BENCH_serve.json under the "current" label. The
-# committed label is the baseline this PR was measured against.
+# Serving throughput trajectory: boot pftkd in its default (traced)
+# configuration and drive closed-loop predict bursts at two concurrency
+# levels. The c=8 report is folded into BENCH_serve.json under both
+# "current" (the moving head the smoke gate compares against) and a
+# descriptive trajectory label naming the serving architecture; the c=64
+# report records how the same architecture holds up past the worker
+# count. Committed historical labels ("mutex-lru", ...) are the
+# baselines earlier PRs were measured against — do not overwrite them.
 bench-serve-json:
 	rm -rf bench-serve-out && mkdir -p bench-serve-out
 	$(GO) build -o bench-serve-out/pftkd ./cmd/pftkd
@@ -187,7 +191,15 @@ bench-serve-json:
 	[ -s bench-serve-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
 	url="http://$$(cat bench-serve-out/addr)"; \
 	./bench-serve-out/pftkload -url $$url -c 8 -n 5000 -json \
-		| $(GO) run ./cmd/benchjson -serve -o BENCH_serve.json -label current; \
+		>bench-serve-out/c8.json && \
+	./bench-serve-out/pftkload -url $$url -c 64 -n 5000 -json \
+		>bench-serve-out/c64.json && \
+	$(GO) run ./cmd/benchjson -serve -o BENCH_serve.json \
+		-label current <bench-serve-out/c8.json && \
+	$(GO) run ./cmd/benchjson -serve -o BENCH_serve.json \
+		-label sharded+singleflight+batch-c8 <bench-serve-out/c8.json && \
+	$(GO) run ./cmd/benchjson -serve -o BENCH_serve.json \
+		-label sharded+singleflight+batch-c64 <bench-serve-out/c64.json; \
 	status=$$?; kill -TERM $$pid; wait $$pid; \
 	rm -rf bench-serve-out; exit $$status
 
@@ -197,6 +209,11 @@ bench-serve-json:
 # (b) BENCH_serve.json still parses into the baseline schema with a
 # recorded serve entry under the "current" label — so the committed
 # numbers stay comparable against what the load pipeline produces.
+# -gatefrac 0.2 additionally requires the live run to reach 20% of the
+# committed throughput (and stay within 5x the committed p99) for the
+# matching mode+concurrency label: generous machine-variance slack that
+# still fails on the order-of-magnitude collapse a real serving
+# regression causes.
 bench-serve-json-smoke:
 	rm -rf bench-serve-out && mkdir -p bench-serve-out
 	$(GO) build -o bench-serve-out/pftkd ./cmd/pftkd
@@ -209,9 +226,32 @@ bench-serve-json-smoke:
 	url="http://$$(cat bench-serve-out/addr)"; \
 	./bench-serve-out/pftkload -url $$url -c 8 -n 500 -json \
 		| $(GO) run ./cmd/benchjson -serve -check \
-			-baseline BENCH_serve.json -require current; \
+			-baseline BENCH_serve.json -require current -gatefrac 0.2; \
 	status=$$?; kill -TERM $$pid; wait $$pid; \
 	rm -rf bench-serve-out; exit $$status
+
+# Multi-listener scale smoke: boot pftkd with two accept paths
+# (SO_REUSEPORT where the kernel allows it, shard-by-hash fanout
+# otherwise) and drive an open-loop Poisson predict burst — the
+# discipline that keeps latency honest under overload, measured from
+# each request's scheduled send time. pftkload exits non-zero if no
+# request succeeds; the grep requires the daemon actually ran in
+# multi-listener mode and still drained cleanly.
+serve-scale-smoke:
+	rm -rf serve-scale-out && mkdir -p serve-scale-out
+	$(GO) build -o serve-scale-out/pftkd ./cmd/pftkd
+	$(GO) build -o serve-scale-out/pftkload ./cmd/pftkload
+	./serve-scale-out/pftkd -addr 127.0.0.1:0 -listeners 2 \
+		-addrfile serve-scale-out/addr >serve-scale-out/pftkd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s serve-scale-out/addr ] && break; sleep 0.1; done; \
+	[ -s serve-scale-out/addr ] || { echo "pftkd never bound"; kill $$pid; exit 1; }; \
+	url="http://$$(cat serve-scale-out/addr)"; \
+	./serve-scale-out/pftkload -url $$url -c 8 -n 1000 -qps 2000 -openloop && \
+	kill -TERM $$pid && wait $$pid && \
+	grep -q "2 listeners (" serve-scale-out/pftkd.log && \
+	grep -q "drained and stopped" serve-scale-out/pftkd.log
+	rm -rf serve-scale-out
 
 # Chaos soak: 500 randomized scenario campaigns under the race detector,
 # from a fixed (spec, seed), run three times — parallel, serial, and
@@ -257,7 +297,7 @@ scenario-golden:
 	rm -f /tmp/outage-golden.pftk
 
 # Umbrella gate: everything CI runs.
-check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke trace-smoke scenario-smoke chaos-smoke bench-serve-json-smoke
+check: build vet fmtcheck lint test race invariants obs-smoke serve-smoke serve-scale-smoke trace-smoke scenario-smoke chaos-smoke bench-serve-json-smoke
 
 clean:
-	rm -rf results obs-smoke-out serve-smoke-out trace-smoke-out bench-serve-out chaos-smoke-out
+	rm -rf results obs-smoke-out serve-smoke-out serve-scale-out trace-smoke-out bench-serve-out chaos-smoke-out

@@ -135,7 +135,15 @@ func parseServe(r io.Reader) (*ServeResult, error) {
 // this is the CI regression gate for BENCH_serve.json: the load
 // pipeline still emits comparable reports, and the committed numbers
 // are still something a fresh run can be compared against.
-func checkServeBaseline(path, require string) error {
+//
+// With gateFrac > 0 the gate also compares performance: against every
+// required label whose entry matches the live report's mode and
+// concurrency, the live run must achieve at least gateFrac of the
+// committed throughput and stay within 1/gateFrac of the committed p99.
+// The slack absorbs machine-to-machine variance (CI runners are not the
+// recording machine) while still catching the collapse a real
+// regression causes.
+func checkServeBaseline(path, require string, live *ServeResult, gateFrac float64) error {
 	if path == "" {
 		return nil
 	}
@@ -164,6 +172,16 @@ func checkServeBaseline(path, require string) error {
 		if sr.P50Seconds <= 0 || sr.P99Seconds < sr.P50Seconds {
 			return fmt.Errorf("%s: baseline %q has inconsistent latency quantiles (p50=%g, p99=%g)",
 				path, label, sr.P50Seconds, sr.P99Seconds)
+		}
+		if gateFrac > 0 && live != nil && sr.Mode == live.Mode && sr.Concurrency == live.Concurrency {
+			if live.ReqPerSec < gateFrac*sr.ReqPerSec {
+				return fmt.Errorf("%s: throughput regression against %q: live %.1f req/s < %.0f%% of committed %.1f req/s",
+					path, label, live.ReqPerSec, gateFrac*100, sr.ReqPerSec)
+			}
+			if live.P99Seconds > sr.P99Seconds/gateFrac {
+				return fmt.Errorf("%s: p99 regression against %q: live %.6fs > committed %.6fs / %.2f",
+					path, label, live.P99Seconds, sr.P99Seconds, gateFrac)
+			}
 		}
 	}
 	return nil
@@ -340,6 +358,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		require  = fs.String("require", "", "comma-separated names that must be present (with -check): benchmark names, or baseline labels with -serve")
 		serve    = fs.Bool("serve", false, "read a pftkload -json report instead of go test -bench output (BENCH_serve.json)")
 		baseline = fs.String("baseline", "", "with -serve -check: committed baseline file that must hold the -require serve labels")
+		gateFrac = fs.Float64("gatefrac", 0, "with -serve -check -baseline: live run must reach this fraction of the committed throughput (and 1/frac of committed p99) for matching mode+concurrency labels; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -350,7 +369,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		if *check {
-			if err := checkServeBaseline(*baseline, *require); err != nil {
+			if *gateFrac < 0 || *gateFrac > 1 {
+				return fmt.Errorf("-gatefrac must be in [0, 1], got %g", *gateFrac)
+			}
+			if err := checkServeBaseline(*baseline, *require, sr, *gateFrac); err != nil {
 				return err
 			}
 			_, err = fmt.Fprintf(out, "ok serve: mode=%s c=%d n=%d, %.1f req/s, p50 %.6fs, p99 %.6fs\n",

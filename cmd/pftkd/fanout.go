@@ -1,0 +1,109 @@
+package main
+
+import (
+	"hash/fnv"
+	"net"
+	"sync"
+)
+
+// fanoutGroup serves one kernel listener through n virtual listeners: a
+// single accept loop hashes each connection's remote address onto a
+// member, so every http.Server accept goroutine sees a stable shard of
+// the peers. It is the SO_REUSEPORT fallback — same topology, one accept
+// queue — used where the socket option is unavailable.
+type fanoutGroup struct {
+	base    net.Listener
+	members []*fanoutListener
+	done    chan struct{}
+	once    sync.Once
+	err     error // set by closeWith before done closes; read after <-done
+}
+
+// newFanoutGroup starts the accept loop feeding n members.
+func newFanoutGroup(base net.Listener, n int) *fanoutGroup {
+	g := &fanoutGroup{base: base, done: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		g.members = append(g.members, &fanoutListener{g: g, ch: make(chan net.Conn, 64)})
+	}
+	go g.acceptLoop()
+	return g
+}
+
+// listeners returns the n virtual listeners, each safe to hand to its
+// own http.Server accept goroutine. Closing any of them closes the
+// group (and the base listener), matching http.Server.Shutdown, which
+// closes every registered listener.
+func (g *fanoutGroup) listeners() []net.Listener {
+	lns := make([]net.Listener, len(g.members))
+	for i, m := range g.members {
+		lns[i] = m
+	}
+	return lns
+}
+
+func (g *fanoutGroup) acceptLoop() {
+	for {
+		c, err := g.base.Accept()
+		if err != nil {
+			g.closeWith(err)
+			return
+		}
+		m := g.members[shardOf(c.RemoteAddr().String(), len(g.members))]
+		select {
+		case m.ch <- c:
+		case <-g.done:
+			_ = c.Close()
+			return
+		}
+	}
+}
+
+// closeWith shuts the group down once: the base listener closes, and
+// every member's Accept returns err after draining already-routed
+// connections.
+func (g *fanoutGroup) closeWith(err error) {
+	g.once.Do(func() {
+		g.err = err
+		_ = g.base.Close()
+		close(g.done)
+	})
+}
+
+// shardOf maps a remote address onto [0, n) by FNV-1a hash, keeping one
+// peer's connections on one accept path.
+func shardOf(remote string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(remote))
+	return int(h.Sum32() % uint32(n))
+}
+
+// fanoutListener is one member's accept path.
+type fanoutListener struct {
+	g  *fanoutGroup
+	ch chan net.Conn
+}
+
+func (l *fanoutListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.g.done:
+		// Drain connections routed before shutdown so none are dropped
+		// silently while a handler could still serve them.
+		select {
+		case c := <-l.ch:
+			return c, nil
+		default:
+			return nil, l.g.err
+		}
+	}
+}
+
+func (l *fanoutListener) Close() error {
+	l.g.closeWith(net.ErrClosed)
+	return nil
+}
+
+func (l *fanoutListener) Addr() net.Addr {
+	return l.g.base.Addr()
+}

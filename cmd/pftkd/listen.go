@@ -1,0 +1,40 @@
+package main
+
+import (
+	"net"
+)
+
+// listenAll opens n accept paths on addr. n == 1 is a plain listener;
+// for n > 1 each listener gets its own http.Server accept goroutine, so
+// connection admission scales past one accept loop.
+//
+// The preferred mechanism is SO_REUSEPORT: n independent kernel sockets
+// bound to one address, with the kernel hashing incoming connections
+// across their accept queues. Where reuse-port is unavailable (platform
+// or socket rejects it) the fallback is a single kernel socket fanned out
+// by a shard-by-hash accept loop (fanout.go). The returned mode names
+// which path was taken: "single", "reuseport" or "fanout".
+func listenAll(addr string, n int) ([]net.Listener, string, error) {
+	if n <= 1 {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, "", err
+		}
+		return []net.Listener{ln}, "single", nil
+	}
+	if lns, err := listenReusePort(addr, n); err == nil {
+		return lns, "reuseport", nil
+	}
+	base, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return newFanoutGroup(base, n).listeners(), "fanout", nil
+}
+
+// closeAll closes every listener, keeping the first error.
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+}

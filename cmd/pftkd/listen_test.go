@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestListenAllSingle keeps the n==1 path a plain listener.
+func TestListenAllSingle(t *testing.T) {
+	lns, mode, err := listenAll("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(lns)
+	if len(lns) != 1 || mode != "single" {
+		t.Fatalf("got %d listeners mode %q, want 1 listener mode \"single\"", len(lns), mode)
+	}
+}
+
+// TestListenAllMulti opens n accept paths on one address and proves each
+// serves real connections. Both multi-listener modes (reuseport on Linux,
+// fanout elsewhere) must satisfy the same contract, so the test only pins
+// mode to a non-single value.
+func TestListenAllMulti(t *testing.T) {
+	const n = 3
+	lns, mode, err := listenAll("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(lns)
+	if len(lns) != n {
+		t.Fatalf("got %d listeners, want %d", len(lns), n)
+	}
+	if mode != "reuseport" && mode != "fanout" {
+		t.Fatalf("mode %q, want reuseport or fanout", mode)
+	}
+	addr := lns[0].Addr().String()
+	for i, ln := range lns {
+		if ln.Addr().String() != addr {
+			t.Fatalf("listener %d bound %s, want %s", i, ln.Addr(), addr)
+		}
+	}
+
+	// Echo-accept on every path, then dial repeatedly: every connection
+	// must be served no matter which accept queue the kernel (or the
+	// fanout hash) routes it to.
+	var wg sync.WaitGroup
+	for _, ln := range lns {
+		wg.Add(1)
+		go func(ln net.Listener) {
+			defer wg.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				_, _ = c.Write([]byte("ok"))
+				_ = c.Close()
+			}
+		}(ln)
+	}
+	for i := 0; i < 8; i++ {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		buf := make([]byte, 2)
+		_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+			t.Fatalf("conn %d: read %q, %v", i, buf, err)
+		}
+		_ = c.Close()
+	}
+	closeAll(lns)
+	wg.Wait()
+}
+
+// TestFanoutGroupCloseUnblocksAccept pins the shutdown contract the
+// http.Server relies on: closing one member stops the whole group and
+// every blocked Accept returns an error.
+func TestFanoutGroupCloseUnblocksAccept(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newFanoutGroup(base, 2)
+	lns := g.listeners()
+
+	errs := make(chan error, len(lns))
+	for _, ln := range lns {
+		go func(ln net.Listener) {
+			_, err := ln.Accept()
+			errs <- err
+		}(ln)
+	}
+	if err := lns[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	for range lns {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, net.ErrClosed) {
+				t.Errorf("Accept returned %v, want net.ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Accept still blocked after group close")
+		}
+	}
+	// The base socket must be released too.
+	if c, err := net.DialTimeout("tcp", base.Addr().String(), 250*time.Millisecond); err == nil {
+		_ = c.Close()
+		t.Error("base listener still accepting after group close")
+	}
+}
+
+// TestShardOfStable keeps the remote-address hash deterministic and in
+// range, so one peer's connections stay on one accept path.
+func TestShardOfStable(t *testing.T) {
+	for _, remote := range []string{"10.0.0.1:1234", "10.0.0.2:80", "[::1]:9"} {
+		first := shardOf(remote, 4)
+		if first < 0 || first >= 4 {
+			t.Fatalf("shardOf(%q, 4) = %d out of range", remote, first)
+		}
+		if again := shardOf(remote, 4); again != first {
+			t.Fatalf("shardOf(%q) unstable: %d then %d", remote, first, again)
+		}
+	}
+}
+
+// TestRunMultiListener boots the daemon with -listeners 2 and serves
+// requests end to end, then drains cleanly — the full lifecycle over
+// whichever multi-listener mode the platform provides.
+func TestRunMultiListener(t *testing.T) {
+	addrfile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addrfile", addrfile, "-listeners", "2", "-workers", "2"}, &out, io.Discard)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrfile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for i := 0; i < 4; i++ {
+		body := strings.NewReader(`{"p":0.02,"rtt":0.2,"t0":2.0,"wm":12}`)
+		resp, err := http.Post("http://"+addr+"/v1/predict", "application/json", body)
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d status %d", i, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+	if !strings.Contains(out.String(), "2 listeners (") {
+		t.Errorf("output missing listener-mode line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,44 @@
+//go:build linux
+
+package main
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, which the frozen stdlib syscall package
+// never gained on linux; the value is 0x0f on every linux architecture.
+const soReusePort = 0x0f
+
+// listenReusePort opens n independent TCP listeners on the same address
+// via SO_REUSEPORT. Each is its own kernel socket with its own accept
+// queue; the kernel load-balances incoming connections across them. The
+// first listener resolves addr (host:0 picks the port); the rest bind the
+// resolved address so all n share it.
+func listenReusePort(addr string, n int) ([]net.Listener, error) {
+	lc := net.ListenConfig{Control: func(_, _ string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		bind := addr
+		if i > 0 {
+			bind = lns[0].Addr().String()
+		}
+		ln, err := lc.Listen(context.Background(), "tcp", bind)
+		if err != nil {
+			closeAll(lns)
+			return nil, err
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}

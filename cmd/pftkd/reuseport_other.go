@@ -1,0 +1,15 @@
+//go:build !linux
+
+package main
+
+import (
+	"errors"
+	"net"
+)
+
+// listenReusePort is not attempted off linux (the option constant and its
+// load-balancing semantics are platform-specific); listenAll falls back
+// to the fanout accept loop.
+func listenReusePort(string, int) ([]net.Listener, error) {
+	return nil, errors.ErrUnsupported
+}

@@ -1,13 +1,31 @@
-// Command pftkload is a closed-loop load generator for pftkd: -c worker
-// goroutines issue requests back-to-back (optionally paced to a target
-// -qps) against /v1/predict or /v1/simulate and report achieved
-// throughput, a status-code breakdown and p50/p90/p95/p99 latencies.
+// Command pftkload is a load generator for pftkd with two arrival
+// disciplines:
+//
+// Closed loop (default): -c worker goroutines issue requests
+// back-to-back — each waits for its response before sending the next —
+// optionally paced to a shared schedule of 1/-qps slots. Throughput
+// found this way is the server's capacity, but latency under saturation
+// is self-limiting: a slow server slows the request stream down, so the
+// reported quantiles describe only the requests that were actually sent
+// (coordinated omission).
+//
+// Open loop (-openloop, requires -qps): arrivals form a Poisson process
+// of rate -qps, split across -c workers as independent streams of rate
+// qps/c (their superposition is Poisson at the full rate). Each request
+// has a scheduled arrival time drawn in advance, and latency is measured
+// from that *scheduled* time — not from when the worker got around to
+// sending it — so a stalled server inflates the tail of every backlogged
+// request instead of silently thinning the stream. This is the
+// coordinated-omission-safe discipline; use -c high enough that workers
+// are not the bottleneck, or the backlog shows up as (honestly reported)
+// latency.
 //
 // Examples:
 //
 //	pftkload -url http://127.0.0.1:8080 -c 64 -duration 10s
 //	pftkload -url http://127.0.0.1:8080 -mode simulate -c 4 -n 100
 //	pftkload -url http://127.0.0.1:8080 -c 32 -qps 5000 -batch 16
+//	pftkload -url http://127.0.0.1:8080 -c 64 -openloop -qps 8000 -duration 10s
 package main
 
 import (
@@ -17,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -92,6 +111,11 @@ type report struct {
 	// when the server does not report them.
 	QueueSeconds   *quantileSet `json:"queue_seconds,omitempty"`
 	ServiceSeconds *quantileSet `json:"service_seconds,omitempty"`
+	// OpenLoop marks a Poisson-arrival run; latencies are then measured
+	// from each request's scheduled arrival time (coordinated-omission
+	// safe) and OfferedQPS is the arrival rate the run offered.
+	OpenLoop   bool    `json:"open_loop,omitempty"`
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
 }
 
 // run executes the load test described by args.
@@ -101,10 +125,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		url      = fs.String("url", "http://127.0.0.1:8080", "base URL of the pftkd service")
 		mode     = fs.String("mode", "predict", "request mix: predict or simulate")
-		conc     = fs.Int("c", 64, "concurrent closed-loop workers")
+		conc     = fs.Int("c", 64, "concurrent workers")
 		duration = fs.Duration("duration", 10*time.Second, "run length (ignored when -n is set)")
 		total    = fs.Int("n", 0, "stop after this many requests (0 = run for -duration)")
 		qps      = fs.Float64("qps", 0, "target aggregate request rate (0 = unpaced closed loop)")
+		openLoop = fs.Bool("openloop", false, "Poisson arrivals at -qps with latency from scheduled send time (coordinated-omission safe)")
+		seed     = fs.Int64("seed", 1, "base seed of the open-loop arrival streams")
 		batch    = fs.Int("batch", 1, "points per predict request (1 = single-point body)")
 		simDur   = fs.Float64("simdur", 5, "simulated seconds per simulate job")
 		seeds    = fs.Int("seeds", 0, "distinct simulate seeds before reuse turns runs into cache hits (0 = all distinct)")
@@ -130,6 +156,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *qps < 0 {
 		return fmt.Errorf("-qps must be non-negative, got %v", *qps)
+	}
+	if *openLoop && *qps <= 0 {
+		return fmt.Errorf("-openloop needs an arrival rate: set -qps")
 	}
 	if *batch < 1 {
 		return fmt.Errorf("-batch must be positive, got %d", *batch)
@@ -160,74 +189,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var (
-		issued   atomic.Int64 // request sequence numbers
-		deadline = time.Now().Add(*duration)
-		results  = make([]workerStats, *conc)
-		wg       sync.WaitGroup
+		issued  atomic.Int64 // request sequence numbers
+		results = make([]workerStats, *conc)
+		wg      sync.WaitGroup
 	)
-	// Pacing: with -qps, each request owns a slot of 1/qps seconds; a
-	// worker sleeps until its request's slot opens. Sequence numbers make
-	// the schedule exact without a shared ticker.
+	bodies := newBodyCache(*mode, *batch, *simDur, *seeds)
 	start := time.Now()
+	deadline := start.Add(*duration)
 	interval := time.Duration(0)
 	if *qps > 0 {
 		interval = time.Duration(float64(time.Second) / *qps)
 	}
 	for g := 0; g < *conc; g++ {
 		wg.Add(1)
-		go func(ws *workerStats) {
+		go func(g int, ws *workerStats) {
 			defer wg.Done()
-			for {
-				i := issued.Add(1) - 1
-				if *total > 0 && i >= int64(*total) {
-					return
-				}
-				if *total == 0 && time.Now().After(deadline) {
-					return
-				}
-				if interval > 0 {
-					if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
-						time.Sleep(wait)
-					}
-				}
-				body := requestBody(*mode, i, *batch, *simDur, *seeds)
-				req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
-				if err != nil {
-					ws.errors++
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				// One ID per request, propagated end to end: pftkd echoes
-				// it in X-Request-Id, tags the request's spans with it,
-				// and stamps it on async job results.
-				req.Header.Set("X-Request-Id", fmt.Sprintf("load-%08d", i))
-				t0 := time.Now()
-				resp, err := client.Do(req)
-				if err != nil {
-					ws.errors++
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close()
-				ws.latencies = append(ws.latencies, time.Since(t0).Seconds())
-				if q, ok := headerSeconds(resp, "X-Queue-Seconds"); ok {
-					ws.queues = append(ws.queues, q)
-				}
-				if sv, ok := headerSeconds(resp, "X-Service-Seconds"); ok {
-					ws.services = append(ws.services, sv)
-				}
-				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
-					ws.n429++
-				case resp.StatusCode >= 500:
-					ws.n5xx++
-				case resp.StatusCode >= 400:
-					ws.n4xx++
-				default:
-					ws.n2xx++
-				}
+			lw := &loadWorker{
+				client: client, target: target, mode: *mode,
+				batch: *batch, simDur: *simDur, seeds: *seeds,
+				bodies: bodies, issued: &issued, total: int64(*total),
+				deadline: deadline, ws: ws,
 			}
-		}(&results[g])
+			if *openLoop {
+				lw.runOpen(start, *qps/float64(*conc), *seed+int64(g))
+			} else {
+				lw.runClosed(start, interval)
+			}
+		}(g, &results[g])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -258,6 +246,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Status5xx:       agg.n5xx,
 		TransportErrors: agg.errors,
 	}
+	if *openLoop {
+		rep.OpenLoop = true
+		rep.OfferedQPS = *qps
+	}
 	if q, ok := quantileSetOf(agg.latencies); ok {
 		rep.LatencySeconds = &q
 	}
@@ -277,6 +269,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		w.Printf("pftkload: %d requests in %.2fs (%.1f req/s) against %s\n",
 			n, rep.Seconds, rep.ReqPerSec, target)
+		if rep.OpenLoop {
+			w.Printf("  open loop: Poisson arrivals offered at %.1f req/s; latency from scheduled send time\n", rep.OfferedQPS)
+		}
 		w.Printf("  status: 2xx=%d 429=%d other-4xx=%d 5xx=%d transport-errors=%d\n",
 			agg.n2xx, agg.n429, agg.n4xx, agg.n5xx, agg.errors)
 		if q := rep.LatencySeconds; q != nil {
@@ -299,6 +294,124 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// loadWorker is one generator goroutine's state: everything it needs to
+// claim sequence numbers, build bodies and record outcomes without
+// touching shared mutable state beyond the issue counter.
+type loadWorker struct {
+	client   *http.Client
+	target   string
+	mode     string
+	batch    int
+	simDur   float64
+	seeds    int
+	bodies   [][]byte // precomputed cycle; nil = build per request
+	issued   *atomic.Int64
+	total    int64
+	deadline time.Time
+	ws       *workerStats
+}
+
+// next claims the next request sequence number; false ends the worker
+// (request budget or deadline exhausted).
+func (lw *loadWorker) next() (int64, bool) {
+	i := lw.issued.Add(1) - 1
+	if lw.total > 0 && i >= lw.total {
+		return 0, false
+	}
+	if lw.total == 0 && time.Now().After(lw.deadline) {
+		return 0, false
+	}
+	return i, true
+}
+
+// body returns request i's body, from the precomputed cycle when one
+// exists.
+func (lw *loadWorker) body(i int64) []byte {
+	if lw.bodies != nil {
+		return lw.bodies[i%int64(len(lw.bodies))]
+	}
+	return requestBody(lw.mode, i, lw.batch, lw.simDur, lw.seeds)
+}
+
+// runClosed is the closed loop: issue, wait for the response, repeat —
+// optionally paced so request i is not sent before its slot i/qps opens.
+// Sequence numbers make the schedule exact without a shared ticker.
+func (lw *loadWorker) runClosed(start time.Time, interval time.Duration) {
+	for {
+		i, ok := lw.next()
+		if !ok {
+			return
+		}
+		if interval > 0 {
+			if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		lw.issue(i, time.Now())
+	}
+}
+
+// runOpen fires this worker's independent Poisson arrival stream at the
+// given rate (streams superpose to the aggregate -qps). Latency is
+// measured from each request's scheduled arrival: when the server (or a
+// saturated worker) falls behind, the wait shows up in every backlogged
+// request's latency instead of being coordinated away.
+func (lw *loadWorker) runOpen(start time.Time, rate float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		i, ok := lw.next()
+		if !ok {
+			return
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		lw.issue(i, next)
+	}
+}
+
+// issue sends request i and records its outcome; latency is measured
+// from t0 (the send time in closed loop, the scheduled arrival in open
+// loop).
+func (lw *loadWorker) issue(i int64, t0 time.Time) {
+	req, err := http.NewRequest(http.MethodPost, lw.target, bytes.NewReader(lw.body(i)))
+	if err != nil {
+		lw.ws.errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// One ID per request, propagated end to end: pftkd echoes it in
+	// X-Request-Id, tags the request's spans with it, and stamps it on
+	// async job results.
+	req.Header.Set("X-Request-Id", fmt.Sprintf("load-%08d", i))
+	resp, err := lw.client.Do(req)
+	if err != nil {
+		lw.ws.errors++
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	lw.ws.latencies = append(lw.ws.latencies, time.Since(t0).Seconds())
+	if q, ok := headerSeconds(resp, "X-Queue-Seconds"); ok {
+		lw.ws.queues = append(lw.ws.queues, q)
+	}
+	if sv, ok := headerSeconds(resp, "X-Service-Seconds"); ok {
+		lw.ws.services = append(lw.ws.services, sv)
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		lw.ws.n429++
+	case resp.StatusCode >= 500:
+		lw.ws.n5xx++
+	case resp.StatusCode >= 400:
+		lw.ws.n4xx++
+	default:
+		lw.ws.n2xx++
+	}
+}
+
 // headerSeconds parses a float-seconds response header.
 func headerSeconds(resp *http.Response, name string) (float64, bool) {
 	v := resp.Header.Get(name)
@@ -315,6 +428,22 @@ func headerSeconds(resp *http.Response, name string) (float64, bool) {
 // ms renders a latency in seconds as a human-readable duration.
 func ms(seconds float64) string {
 	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// newBodyCache precomputes predict-mode bodies. They depend on the
+// sequence number only through the 64-point loss grid — point index
+// (i*batch+j) mod 64 equals ((i mod 64)*batch+j) mod 64 — so 64 bodies
+// cover every request and the hot path stops re-marshaling JSON per
+// request. Simulate bodies embed the per-request seed and stay dynamic.
+func newBodyCache(mode string, batch int, simDur float64, seeds int) [][]byte {
+	if mode != "predict" {
+		return nil
+	}
+	bodies := make([][]byte, 64)
+	for j := range bodies {
+		bodies[j] = requestBody(mode, int64(j), batch, simDur, seeds)
+	}
+	return bodies
 }
 
 // requestBody builds the i-th request. Parameters sweep a deterministic

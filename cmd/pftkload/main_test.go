@@ -28,6 +28,7 @@ func TestFlagValidation(t *testing.T) {
 		{"zero simdur", []string{"-simdur", "0"}, "-simdur must be"},
 		{"negative seeds", []string{"-seeds", "-1"}, "-seeds must be"},
 		{"bad mode", []string{"-mode", "chaos"}, "unknown -mode"},
+		{"openloop without rate", []string{"-openloop"}, "-openloop needs an arrival rate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +127,71 @@ func TestLoadLoopSimulateMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "6 requests") {
 		t.Errorf("report missing request count:\n%s", out.String())
+	}
+}
+
+// TestOpenLoopAgainstService runs the Poisson open-loop discipline
+// against a real handler: all n requests issue regardless of server
+// latency, the offered rate is reported, and the JSON report flags the
+// discipline so trajectories never mix the two latency definitions.
+func TestOpenLoopAgainstService(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 64})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	// A high rate keeps the test fast: 40 arrivals at 4000/s is ~10ms of
+	// scheduled arrivals.
+	err := run([]string{"-url", ts.URL, "-mode", "predict", "-c", "4", "-n", "40", "-qps", "4000", "-openloop", "-json"}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 40 || rep.Status2xx != 40 {
+		t.Fatalf("report counts = %+v, want 40 requests all 2xx", rep)
+	}
+	if !rep.OpenLoop || rep.OfferedQPS != 4000 {
+		t.Fatalf("open-loop marker missing: open_loop=%v offered=%v", rep.OpenLoop, rep.OfferedQPS)
+	}
+	if rep.LatencySeconds == nil {
+		t.Fatal("report missing latency quantiles")
+	}
+
+	// Human-readable output names the discipline too.
+	out.Reset()
+	if err := run([]string{"-url", ts.URL, "-mode", "predict", "-c", "4", "-n", "40", "-qps", "4000", "-openloop"}, &out, io.Discard); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "open loop") {
+		t.Errorf("human report missing open-loop line:\n%s", out.String())
+	}
+}
+
+// TestOpenLoopSeedDeterminism: the same -seed replays the same arrival
+// schedule, so two runs issue identical request counts.
+func TestOpenLoopSeedDeterminism(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 64})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, seed := range []string{"7", "7"} {
+		var out bytes.Buffer
+		err := run([]string{"-url", ts.URL, "-mode", "predict", "-c", "2", "-n", "20", "-qps", "5000", "-openloop", "-seed", seed, "-json"}, &out, io.Discard)
+		if err != nil {
+			t.Fatalf("seed %s: %v\n%s", seed, err, out.String())
+		}
+		var rep report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != 20 {
+			t.Fatalf("seed %s issued %d requests, want 20", seed, rep.Requests)
+		}
 	}
 }
 

@@ -307,6 +307,35 @@ func pkgGood() int {
 }
 `,
 
+	// Generic guardedby: selecting a field through an instantiated
+	// generic struct yields a substituted Var distinct from the declared
+	// object; the analyzer must normalize both the access and the
+	// x.mu.Lock() receiver back to their origins or generic caches go
+	// unchecked entirely.
+	"guardgen/guardgen.go": `package guardgen
+
+import "sync"
+
+type Shard[V any] struct {
+	mu sync.Mutex
+	//pftk:guardedby mu
+	items map[string]V
+}
+
+func (s *Shard[V]) Bad(k string) V { return s.items[k] } // want guardedby (generic receiver)
+
+func (s *Shard[V]) Good(k string) V {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k] // allowed: dominating Lock through the same origin
+}
+
+//pftk:locked(mu)
+func (s *Shard[V]) locked(k string, v V) { s.items[k] = v } // allowed: caller contract
+
+func BadInstantiated(s *Shard[int]) int { return s.items["x"] } // want guardedby (concrete instantiation)
+`,
+
 	// Cross-package guardedby: the field is annotated in guardx/a, the
 	// accesses live in guardx/b — only per-package facts shared across
 	// the run make this checkable.
@@ -697,6 +726,15 @@ func TestGuardedByFixture(t *testing.T) {
 		{47, "n is guarded by mu but accessed without holding it"},
 		{53, "n is guarded by mu but accessed without holding it"},
 		{62, "global is guarded by gmu but accessed without holding it"},
+	})
+}
+
+func TestGuardedByGenericFields(t *testing.T) {
+	pkg := fixturePkgs(t)["guardgen"]
+	got := Run([]*Package{pkg}, []*Analyzer{GuardedByAnalyzer})
+	checkDiags(t, got, []expectation{
+		{11, "items is guarded by mu but accessed without holding it"},
+		{22, "items is guarded by mu but accessed without holding it"},
 	})
 }
 

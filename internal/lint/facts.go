@@ -112,10 +112,16 @@ func (t *FactTable) For(p *types.Package) *PackageFacts {
 }
 
 // GuardFor resolves the guardedby annotation of an object defined in any
-// analyzed package.
+// analyzed package. Fields of generic structs are normalized to their
+// origin: a selection through lruShard[V] (or any instantiation) yields
+// a substituted field Var distinct from the one the declaration defines,
+// and the facts table is keyed by the declared object.
 func (t *FactTable) GuardFor(obj types.Object) (GuardFact, bool) {
 	if t == nil || obj == nil || obj.Pkg() == nil {
 		return GuardFact{}, false
+	}
+	if v, ok := obj.(*types.Var); ok {
+		obj = v.Origin()
 	}
 	f := t.For(obj.Pkg())
 	if f == nil {

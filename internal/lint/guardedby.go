@@ -236,10 +236,12 @@ func lockStmtKind(info *types.Info, stmt ast.Stmt, acc guardedAccess) lockKind {
 	}
 	// The receiver of Lock must be the guard object itself, reached
 	// through the same base as the guarded access: x.mu.Lock() guarding
-	// x.items, or mu.Lock() guarding a package variable.
+	// x.items, or mu.Lock() guarding a package variable. Both sides are
+	// compared by origin so fields of generic structs (instantiated Vars)
+	// match the declared sibling the fact records.
 	switch guardExpr := method.X.(type) {
 	case *ast.SelectorExpr:
-		if info.Uses[guardExpr.Sel] != acc.guard.GuardObj || acc.guard.GuardObj == nil {
+		if acc.guard.GuardObj == nil || originOf(info.Uses[guardExpr.Sel]) != originOf(acc.guard.GuardObj) {
 			return lockNone
 		}
 		if acc.base == nil {
@@ -255,6 +257,15 @@ func lockStmtKind(info *types.Info, stmt ast.Stmt, acc guardedAccess) lockKind {
 		}
 	}
 	return lockNone
+}
+
+// originOf maps an instantiated generic field/variable back to the
+// declared object go/types records in Defs; non-vars pass through.
+func originOf(obj types.Object) types.Object {
+	if v, ok := obj.(*types.Var); ok && v != nil {
+		return v.Origin()
+	}
+	return obj
 }
 
 // sameRoot reports whether two receiver chains start from the same

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"pftk/internal/tracez"
+)
+
+// predictOutcome is the completed evaluation of one canonical predict
+// point, shared verbatim by every request coalesced onto its flight.
+type predictOutcome struct {
+	resp PredictResponse
+	// body is the encoded single-point response (JSON plus trailing
+	// newline, exactly what json.Encoder would have produced), so hits
+	// and waiters skip re-encoding.
+	body      []byte
+	queueWait time.Duration
+	service   time.Duration
+}
+
+// evalItem is one queued single-point evaluation: the leader's request
+// plus the flight its waiters are parked on and enough trace context to
+// attribute the queue-wait/eval spans to the submitting request.
+type evalItem struct {
+	req            PredictRequest
+	key            cacheKey
+	fl             *inflight[predictOutcome]
+	submitted      time.Time
+	submittedTrace float64
+	trace          tracez.Span // copy of the submitting request's root span
+}
+
+// batcher coalesces queued single-point predict evaluations into bounded
+// batches dispatched as one worker-pool job each. Draining is greedy —
+// whatever is queued when a batch forms joins it — and optionally waits
+// up to a latency budget for stragglers, trading bounded added latency
+// for fewer pool round trips under load. A zero budget never delays
+// dispatch, so lightly loaded servers keep single-request latency.
+type batcher struct {
+	queue chan *evalItem
+	stop  chan struct{}
+	wait  time.Duration
+	max   int
+	run   func([]*evalItem)
+	wg    sync.WaitGroup
+
+	mu sync.RWMutex
+	//pftk:guardedby mu
+	closed bool
+}
+
+// newBatcher starts the drain loop. run is called serially, once per
+// batch, with between 1 and max items; it must not block indefinitely.
+func newBatcher(max int, wait time.Duration, depth int, run func([]*evalItem)) *batcher {
+	if max < 1 {
+		max = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	b := &batcher{
+		queue: make(chan *evalItem, depth),
+		stop:  make(chan struct{}),
+		wait:  wait,
+		max:   max,
+		run:   run,
+	}
+	b.wg.Add(1)
+	go b.drain()
+	return b
+}
+
+// enqueue hands one item to the drain loop. False means the batcher is
+// closed or its queue is full; the caller must fail the item's flight
+// (overload), mirroring the worker pool's TrySubmit contract.
+func (b *batcher) enqueue(it *evalItem) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return false
+	}
+	select {
+	case b.queue <- it:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops admitting items, then blocks until everything already
+// enqueued has been handed to run. Safe to call once; the server closes
+// the batcher before the worker pool so final batches can still submit.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	// All enqueues overlapping the flag flip held the read lock, so by
+	// here every accepted item is in the channel; stop wakes the drain
+	// loop to sweep them out.
+	close(b.stop)
+	b.wg.Wait()
+}
+
+func (b *batcher) drain() {
+	defer b.wg.Done()
+	for {
+		first, ok := b.next()
+		if !ok {
+			return
+		}
+		b.run(b.collect(first))
+	}
+}
+
+// next blocks for the first item of the next batch; false means the
+// batcher is closed and fully drained.
+func (b *batcher) next() (*evalItem, bool) {
+	select {
+	case it := <-b.queue:
+		return it, true
+	case <-b.stop:
+		select {
+		case it := <-b.queue:
+			return it, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// collect grows a batch around its first item: greedily take whatever is
+// already queued, then — when a latency budget is configured — wait out
+// the remainder of the budget for more, up to max items. The budget is
+// measured from the first item, so no request waits longer than b.wait
+// here regardless of arrival pattern.
+func (b *batcher) collect(first *evalItem) []*evalItem {
+	batch := []*evalItem{first}
+	for len(batch) < b.max {
+		select {
+		case it := <-b.queue:
+			batch = append(batch, it)
+			continue
+		default:
+		}
+		break
+	}
+	if b.wait <= 0 || len(batch) >= b.max {
+		return batch
+	}
+	timer := time.NewTimer(b.wait)
+	defer timer.Stop()
+	for len(batch) < b.max {
+		select {
+		case it := <-b.queue:
+			batch = append(batch, it)
+		case <-timer.C:
+			return batch
+		case <-b.stop:
+			return batch
+		}
+	}
+	return batch
+}

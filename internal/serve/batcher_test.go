@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalescesQueuedItems enqueues items faster than the drain
+// loop consumes them and checks that the run callback sees multi-item
+// batches, that no item is lost, and that the batch-size cap holds.
+func TestBatcherCoalescesQueuedItems(t *testing.T) {
+	const n = 64
+	var (
+		mu     sync.Mutex
+		sizes  []int
+		total  int
+		gate   = make(chan struct{})
+		gated  atomic.Bool
+		maxLen = 8
+	)
+	b := newBatcher(maxLen, 5*time.Millisecond, n, func(items []*evalItem) {
+		// The first batch blocks on the gate so the remaining items pile
+		// up in the queue and must be collected together.
+		if gated.CompareAndSwap(false, true) {
+			<-gate
+		}
+		mu.Lock()
+		sizes = append(sizes, len(items))
+		total += len(items)
+		mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		if !b.enqueue(&evalItem{}) {
+			t.Fatalf("enqueue %d rejected below depth", i)
+		}
+	}
+	close(gate)
+	b.close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if total != n {
+		t.Fatalf("run saw %d items, want %d (close must drain the queue)", total, n)
+	}
+	coalesced := false
+	for _, sz := range sizes {
+		if sz > maxLen {
+			t.Errorf("batch of %d exceeds max %d", sz, maxLen)
+		}
+		if sz > 1 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Errorf("no multi-item batches formed; sizes = %v", sizes)
+	}
+}
+
+// TestBatcherRejectsAfterClose pins the shutdown contract: enqueue after
+// close fails fast instead of stranding a flight.
+func TestBatcherRejectsAfterClose(t *testing.T) {
+	b := newBatcher(4, 0, 4, func([]*evalItem) {})
+	if !b.enqueue(&evalItem{}) {
+		t.Fatal("enqueue before close rejected")
+	}
+	b.close()
+	if b.enqueue(&evalItem{}) {
+		t.Fatal("enqueue after close accepted")
+	}
+}
+
+// TestBatchedResponsesByteIdentical runs the same single-point predicts
+// against an immediate-dispatch server and a micro-batching server and
+// requires byte-identical bodies — batching is a scheduling change, not
+// a semantic one.
+func TestBatchedResponsesByteIdentical(t *testing.T) {
+	immediate := New(Config{Workers: 2, QueueDepth: 64})
+	defer immediate.Close()
+	batched := New(Config{Workers: 2, QueueDepth: 64, BatchWait: 25 * time.Millisecond})
+	defer batched.Close()
+
+	bodies := []string{
+		`{"p":0.02,"rtt":0.2,"t0":2.0,"wm":12}`,
+		`{"p":0.1,"rtt":0.05,"t0":1.0,"wm":8,"b":2}`,
+		`{"p":0.005,"rtt":0.5,"t0":3.0,"wm":32,"models":["full","approx"]}`,
+	}
+	fetch := func(s *Server, body string) (int, string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	for _, body := range bodies {
+		c1, b1 := fetch(immediate, body)
+		c2, b2 := fetch(batched, body)
+		if c1 != http.StatusOK || c2 != http.StatusOK {
+			t.Fatalf("status %d vs %d for %s", c1, c2, body)
+		}
+		if b1 != b2 {
+			t.Errorf("batched body differs for %s:\n%s\nvs\n%s", body, b1, b2)
+		}
+	}
+}

@@ -1,74 +1,209 @@
 package serve
 
 import (
-	"container/list"
+	"encoding/binary"
+	"runtime"
 	"sync"
 )
 
-// lruCache is a fixed-capacity least-recently-used cache from canonical
+// shardedLRU is a fixed-capacity least-recently-used cache from canonical
 // request hashes to finished results. Predictions and simulations are
 // pure functions of their normalized request (simulations carry an
 // explicit seed), so a hit can be served verbatim without recomputing.
-type lruCache struct {
+//
+// The cache is split into a power-of-two number of independently locked
+// shards, selected by the low bits of the key digest: under concurrent
+// load the per-request critical section contends only with the 1/shards
+// fraction of traffic that hashes to the same shard, instead of every
+// request serializing on one global mutex. Recency is tracked per shard,
+// which approximates global LRU closely because SHA-256 spreads keys
+// uniformly.
+type shardedLRU[V any] struct {
+	shards []lruShard[V] // length is a power of two; never copied (holds mutexes)
+	mask   uint64        // len(shards) - 1
+}
+
+// lruShard is one lock domain of the cache: a map for lookup plus an
+// intrusive doubly-linked recency list (front = most recently used). The
+// trailing pad keeps adjacent shards' hot mutex words off one cache line.
+type lruShard[V any] struct {
 	mu  sync.Mutex
 	cap int // immutable after construction
 	//pftk:guardedby mu
-	order *list.List // front = most recently used
+	items map[cacheKey]*lruEntry[V]
 	//pftk:guardedby mu
-	items map[string]*list.Element
+	head *lruEntry[V]
+	//pftk:guardedby mu
+	tail *lruEntry[V]
+	_    [24]byte // pad to a 64-byte line against false sharing
 }
 
-type lruEntry struct {
-	key string
-	val any
+// lruEntry is an intrusive recency-list node; embedding the links in the
+// entry avoids container/list's per-element interface boxing.
+type lruEntry[V any] struct {
+	key  cacheKey
+	val  V
+	prev *lruEntry[V]
+	next *lruEntry[V]
 }
 
-// newLRUCache returns a cache holding up to capacity entries (floored at
-// 1).
-func newLRUCache(capacity int) *lruCache {
+// defaultCacheShards sizes the shard count for the running machine: a few
+// shards per core so that even a fully cache-hit workload rarely sees two
+// goroutines queued on one shard mutex.
+func defaultCacheShards() int {
+	return nextPow2(4 * runtime.GOMAXPROCS(0))
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newShardedLRU returns a cache holding up to capacity entries (floored
+// at 1) across the given number of shards. The shard count is rounded up
+// to a power of two and clamped so tiny caches do not silently grow:
+// capacity 1 is one shard of one entry, whatever shards asks for.
+func newShardedLRU[V any](capacity, shards int) *shardedLRU[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element),
+	if shards < 1 {
+		shards = 1
 	}
+	shards = nextPow2(shards)
+	for shards > 1 && shards > capacity {
+		shards >>= 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &shardedLRU[V]{
+		shards: make([]lruShard[V], shards),
+		mask:   uint64(shards - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].items = make(map[cacheKey]*lruEntry[V], perShard)
+	}
+	return c
+}
+
+// shard routes a key to its lock domain. The digest is uniform, so any
+// eight bytes of it index shards evenly.
+func (c *shardedLRU[V]) shard(key cacheKey) *lruShard[V] {
+	return &c.shards[binary.LittleEndian.Uint64(key[:8])&c.mask]
 }
 
 // get returns the cached value for key and marks it most recently used.
-func (c *lruCache) get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+func (c *shardedLRU[V]) get(key cacheKey) (V, bool) {
+	return c.shard(key).get(key)
 }
 
-// put stores val under key, evicting the least recently used entry when
-// the cache is full.
-func (c *lruCache) put(key string, val any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
-		c.order.MoveToFront(el)
+// put stores val under key, evicting the least recently used entry of the
+// key's shard when that shard is full.
+func (c *shardedLRU[V]) put(key cacheKey, val V) {
+	c.shard(key).put(key, val)
+}
+
+// len returns the current number of entries across all shards.
+func (c *shardedLRU[V]) len() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].len()
+	}
+	return n
+}
+
+func (s *lruShard[V]) get(key cacheKey) (V, bool) {
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.moveToFrontLocked(e)
+	v := e.val
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *lruShard[V]) put(key cacheKey, val V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		e.val = val
+		s.moveToFrontLocked(e)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
-	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	e := &lruEntry[V]{key: key, val: val}
+	s.items[key] = e
+	s.pushFrontLocked(e)
+	if len(s.items) > s.cap {
+		s.evictTailLocked()
 	}
 }
 
-// len returns the current number of entries.
-func (c *lruCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+func (s *lruShard[V]) len() int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n
+}
+
+// pushFrontLocked links e as the most recently used entry.
+//
+//pftk:locked(mu)
+func (s *lruShard[V]) pushFrontLocked(e *lruEntry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlinkLocked removes e from the recency list.
+//
+//pftk:locked(mu)
+func (s *lruShard[V]) unlinkLocked(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFrontLocked marks e most recently used.
+//
+//pftk:locked(mu)
+func (s *lruShard[V]) moveToFrontLocked(e *lruEntry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
+}
+
+// evictTailLocked drops the least recently used entry.
+//
+//pftk:locked(mu)
+func (s *lruShard[V]) evictTailLocked() {
+	e := s.tail
+	if e == nil {
+		return
+	}
+	s.unlinkLocked(e)
+	delete(s.items, e.key)
 }

@@ -10,14 +10,21 @@
 //
 // Internally every piece of work flows through one bounded job queue
 // feeding a fixed worker pool (internal/workpool). Predictions are
-// executed synchronously (the handler waits for its pool job);
-// simulations are asynchronous jobs polled via /v1/jobs. When the queue
-// is full the service sheds load with 429 + Retry-After instead of
-// queueing unboundedly — it never drops connections. Finished work lands
-// in an LRU cache keyed by a canonical request hash: requests are
+// executed synchronously (the handler waits for its result); simulations
+// are asynchronous jobs polled via /v1/jobs. When the queue is full the
+// service sheds load with 429 + Retry-After instead of queueing
+// unboundedly — it never drops connections. Finished work lands in
+// hash-sharded LRU caches keyed by a canonical request hash: requests are
 // normalized (defaults filled, model lists sorted) before hashing, and
 // simulations are seeded and deterministic, so a cache hit is exact and a
 // resubmitted simulation returns the identical result without re-running.
+//
+// The hot path is built for core-count scaling: the result caches are
+// sharded (per-shard mutexes, typed entries), identical in-flight
+// requests are coalesced onto one evaluation (singleflight — N concurrent
+// askers cost one predict() or one simulation), and single-point predict
+// evaluations from different connections are micro-batched into shared
+// worker-pool jobs under a configurable latency budget (Config.BatchWait).
 package serve
 
 import (
@@ -29,7 +36,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,11 +51,21 @@ type Config struct {
 	// QueueDepth bounds the job queue; default 256. A full queue turns
 	// into 429 responses.
 	QueueDepth int
-	// CacheEntries bounds the result LRU; default 4096.
+	// CacheEntries bounds each result LRU (predictions and simulations
+	// are cached separately); default 4096.
 	CacheEntries int
-	// MaxBatch bounds the number of points in one predict batch;
-	// default 1024.
+	// CacheShards is the shard count of each result LRU, rounded up to a
+	// power of two; default a few shards per core.
+	CacheShards int
+	// MaxBatch bounds the number of points in one predict batch, and the
+	// number of queued single-point evaluations micro-batched into one
+	// worker-pool job; default 1024.
 	MaxBatch int
+	// BatchWait is the micro-batching latency budget: how long a queued
+	// single-point predict evaluation may wait for company before its
+	// batch is dispatched. 0 (the default) dispatches immediately —
+	// batching then only aggregates what is already queued.
+	BatchWait time.Duration
 	// MaxJobs bounds retained finished jobs; default 4096.
 	MaxJobs int
 	// RetryAfter is the hint returned with 429 responses; default 1 s.
@@ -83,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 4096
 	}
+	if c.CacheShards < 1 {
+		c.CacheShards = defaultCacheShards()
+	}
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 1024
 	}
@@ -102,35 +121,54 @@ var latencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// errOverloaded marks a flight that was shed instead of evaluated; the
+// waiting handlers translate it into 429 + Retry-After.
+var errOverloaded = errors.New("job queue full")
+
+// cachedPredict pairs a finished prediction with its encoded single-point
+// response body (JSON plus trailing newline, byte-identical to what
+// json.Encoder produced before bodies were cached), so steady-state hits
+// skip JSON encoding entirely.
+type cachedPredict struct {
+	resp PredictResponse
+	body []byte
+}
+
 // Server is the pftkd HTTP service. Create one with New; it implements
 // http.Handler.
 type Server struct {
-	cfg    Config
-	pool   *workpool.Pool
-	cache  *lruCache
-	jobs   *jobStore
-	mux    *http.ServeMux
-	closed atomic.Bool
+	cfg       Config
+	pool      *workpool.Pool
+	predCache *shardedLRU[cachedPredict]
+	simCache  *shardedLRU[SimulateResult]
+	flights   *flightGroup[predictOutcome]
+	simflight *simFlights
+	batch     *batcher
+	jobs      *jobStore
+	mux       *http.ServeMux
+	log       *logSink
+	closed    atomic.Bool
 
 	// reqSeq numbers requests that arrive without an X-Request-Id.
 	reqSeq atomic.Uint64
-	// logMu serializes access-log lines; io.Writer is not assumed
-	// concurrency-safe.
-	logMu sync.Mutex
 
 	// Metric handles; all nil (free no-ops) without a registry.
-	mRequests    *obs.Counter
-	m2xx, m4xx   *obs.Counter
-	m5xx         *obs.Counter
-	mRejected    *obs.Counter
-	mLatency     *obs.Histogram
-	mQueueDepth  *obs.Gauge
-	mCacheHits   *obs.Counter
-	mCacheMisses *obs.Counter
-	mPredictPts  *obs.Counter
-	mJobsSub     *obs.Counter
-	mJobsDone    *obs.Counter
-	mJobsFailed  *obs.Counter
+	mRequests      *obs.Counter
+	m2xx, m4xx     *obs.Counter
+	m5xx           *obs.Counter
+	mRejected      *obs.Counter
+	mLatency       *obs.Histogram
+	mQueueDepth    *obs.Gauge
+	mCacheHits     *obs.Counter
+	mCacheMisses   *obs.Counter
+	mPredictPts    *obs.Counter
+	mEvals         *obs.Counter
+	mCoalesced     *obs.Counter
+	mBatchJobs     *obs.Counter
+	mJobsSub       *obs.Counter
+	mJobsDone      *obs.Counter
+	mJobsFailed    *obs.Counter
+	mJobsCoalesced *obs.Counter
 }
 
 // New returns a ready-to-serve Server. Callers must Close it to drain
@@ -139,26 +177,35 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	s := &Server{
-		cfg:   cfg,
-		pool:  workpool.New(cfg.Workers, cfg.QueueDepth),
-		cache: newLRUCache(cfg.CacheEntries),
-		jobs:  newJobStore(cfg.MaxJobs),
-		mux:   http.NewServeMux(),
+		cfg:       cfg,
+		pool:      workpool.New(cfg.Workers, cfg.QueueDepth),
+		predCache: newShardedLRU[cachedPredict](cfg.CacheEntries, cfg.CacheShards),
+		simCache:  newShardedLRU[SimulateResult](cfg.CacheEntries, cfg.CacheShards),
+		flights:   newFlightGroup[predictOutcome](),
+		simflight: newSimFlights(),
+		jobs:      newJobStore(cfg.MaxJobs),
+		mux:       http.NewServeMux(),
+		log:       newLogSink(cfg.AccessLog),
 
-		mRequests:    reg.Counter("serve.http.requests"),
-		m2xx:         reg.Counter("serve.http.responses.2xx"),
-		m4xx:         reg.Counter("serve.http.responses.4xx"),
-		m5xx:         reg.Counter("serve.http.responses.5xx"),
-		mRejected:    reg.Counter("serve.http.rejected"),
-		mLatency:     reg.Histogram("serve.http.latency.seconds", latencyBuckets),
-		mQueueDepth:  reg.Gauge("serve.queue.depth"),
-		mCacheHits:   reg.Counter("serve.cache.hits"),
-		mCacheMisses: reg.Counter("serve.cache.misses"),
-		mPredictPts:  reg.Counter("serve.predict.points"),
-		mJobsSub:     reg.Counter("serve.jobs.submitted"),
-		mJobsDone:    reg.Counter("serve.jobs.completed"),
-		mJobsFailed:  reg.Counter("serve.jobs.failed"),
+		mRequests:      reg.Counter("serve.http.requests"),
+		m2xx:           reg.Counter("serve.http.responses.2xx"),
+		m4xx:           reg.Counter("serve.http.responses.4xx"),
+		m5xx:           reg.Counter("serve.http.responses.5xx"),
+		mRejected:      reg.Counter("serve.http.rejected"),
+		mLatency:       reg.Histogram("serve.http.latency.seconds", latencyBuckets),
+		mQueueDepth:    reg.Gauge("serve.queue.depth"),
+		mCacheHits:     reg.Counter("serve.cache.hits"),
+		mCacheMisses:   reg.Counter("serve.cache.misses"),
+		mPredictPts:    reg.Counter("serve.predict.points"),
+		mEvals:         reg.Counter("serve.predict.evals"),
+		mCoalesced:     reg.Counter("serve.predict.coalesced"),
+		mBatchJobs:     reg.Counter("serve.batch.jobs"),
+		mJobsSub:       reg.Counter("serve.jobs.submitted"),
+		mJobsDone:      reg.Counter("serve.jobs.completed"),
+		mJobsFailed:    reg.Counter("serve.jobs.failed"),
+		mJobsCoalesced: reg.Counter("serve.jobs.coalesced"),
 	}
+	s.batch = newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth, s.runBatch)
 	s.pool.SetTracer(cfg.Tracer)
 	if cfg.Tracer != nil {
 		// The span view rides on the service address, so one port serves
@@ -174,10 +221,12 @@ func New(cfg Config) *Server {
 }
 
 // Close stops admitting work and blocks until every accepted job has
-// finished — the drain half of graceful shutdown. The HTTP listener (if
-// any) is the caller's to stop first.
+// finished — the drain half of graceful shutdown. The batcher closes
+// before the pool so its final batches can still submit; the HTTP
+// listener (if any) is the caller's to stop first.
 func (s *Server) Close() {
 	s.closed.Store(true)
+	s.batch.close()
 	s.pool.Close()
 }
 
@@ -256,8 +305,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // accessLog writes the request's structured log line, if logging is
 // configured. The queue/service split is read back from the response
 // headers the handlers set, so the log agrees with what the client saw.
+// The line is formatted here, lock-free, and handed to the sink.
 func (s *Server) accessLog(r *http.Request, sw *statusWriter, reqID string, elapsed float64, root *tracez.Span) {
-	if s.cfg.AccessLog == nil {
+	if s.log == nil {
 		return
 	}
 	var trace string
@@ -268,10 +318,9 @@ func (s *Server) accessLog(r *http.Request, sw *statusWriter, reqID string, elap
 	if q := sw.Header().Get("X-Queue-Seconds"); q != "" {
 		split = fmt.Sprintf(" queue_seconds=%s service_seconds=%s", q, sw.Header().Get("X-Service-Seconds"))
 	}
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	_, _ = fmt.Fprintf(s.cfg.AccessLog, "request_id=%s method=%s path=%s status=%d duration_seconds=%.6f%s%s\n",
+	line := fmt.Appendf(nil, "request_id=%s method=%s path=%s status=%d duration_seconds=%.6f%s%s\n",
 		reqID, r.Method, r.URL.Path, sw.code, elapsed, split, trace)
+	s.log.append(line)
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -288,6 +337,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeJSONBytes sends an already-encoded JSON body (newline included).
+func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
 // writeError sends the JSON error envelope.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
@@ -298,6 +354,13 @@ func (s *Server) rejectOverload(w http.ResponseWriter) {
 	s.mRejected.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+}
+
+// setSecondsHeader writes a duration header in the fixed %.6f format the
+// load generators parse, without going through fmt.
+func setSecondsHeader(w http.ResponseWriter, name string, d time.Duration) {
+	var arr [24]byte
+	w.Header().Set(name, string(strconv.AppendFloat(arr[:0], d.Seconds(), 'f', 6, 64)))
 }
 
 // decodeStrict decodes exactly one JSON value from the body, rejecting
@@ -324,7 +387,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":      status,
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.pool.QueueDepth(),
-		"cache_size":  s.cache.len(),
+		"cache_size":  s.predCache.len() + s.simCache.len(),
 	})
 }
 
@@ -346,10 +409,19 @@ type BatchResponse struct {
 	Results []PredictResponse `json:"results"`
 }
 
+// pendingFlight is one miss the handler is waiting on: the point's index
+// in its request plus the (possibly shared) flight computing it.
+type pendingFlight struct {
+	i  int
+	fl *inflight[predictOutcome]
+}
+
 // handlePredict evaluates the model family at one point or a batch of
-// points. The computation itself runs on the worker pool — the handler
-// goroutine only parses, consults the cache, and waits — so prediction
-// load is subject to the same admission control as simulations.
+// points. The handler goroutine only parses, consults the cache, and
+// waits: misses are coalesced onto singleflight evaluations and
+// dispatched through the micro-batcher onto the worker pool, so duplicate
+// in-flight points cost one evaluation process-wide and prediction load
+// is subject to the same admission control as simulations.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	root := tracez.FromContext(r.Context())
 	var payload predictPayload
@@ -374,7 +446,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	// Normalize and validate everything before doing any work, so a bad
 	// point fails the request instead of half-computing it.
-	keys := make([]string, len(reqs))
+	keys := make([]cacheKey, len(reqs))
 	for i := range reqs {
 		reqs[i] = reqs[i].normalize()
 		if err := reqs[i].validate(); err != nil {
@@ -385,84 +457,162 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		keys[i] = canonicalKey("predict", reqs[i])
+		keys[i] = predictKey(reqs[i])
 	}
 
-	// Serve what the cache already knows; compute only the misses.
+	// Serve what the cache already knows; join or lead a flight for each
+	// miss. Duplicate keys — within this batch or across concurrent
+	// requests — share one flight and therefore one evaluation.
 	results := make([]PredictResponse, len(reqs))
-	var misses []int
+	var singleBody []byte
+	var waits []pendingFlight
+	var leaders []*evalItem
 	cacheSp := root.StartChild("cache")
-	for i, key := range keys {
-		if v, ok := s.cache.get(key); ok {
+	for i := range reqs {
+		if v, ok := s.predCache.get(keys[i]); ok {
 			s.mCacheHits.Inc()
-			results[i] = v.(PredictResponse)
+			results[i] = v.resp
+			singleBody = v.body
 			continue
 		}
 		s.mCacheMisses.Inc()
-		misses = append(misses, i)
+		fl, leader := s.flights.join(keys[i])
+		if leader {
+			leaders = append(leaders, &evalItem{req: reqs[i], key: keys[i], fl: fl})
+		} else {
+			s.mCoalesced.Inc()
+		}
+		waits = append(waits, pendingFlight{i: i, fl: fl})
 	}
-	cacheSp.SetAttr("hits", strconv.Itoa(len(reqs)-len(misses)))
-	cacheSp.SetAttr("misses", strconv.Itoa(len(misses)))
+	cacheSp.SetAttr("hits", strconv.Itoa(len(reqs)-len(waits)))
+	cacheSp.SetAttr("misses", strconv.Itoa(len(waits)))
 	cacheSp.End()
 
 	// The queue-wait/service split is measured on the wall clock and
 	// echoed in response headers, so load generators can separate time
 	// in the admission queue from model evaluation without a tracer.
 	var queueWait, service time.Duration
-	if len(misses) > 0 {
-		var jobErr error
-		done := make(chan struct{})
+	if len(waits) > 0 {
 		submitted := time.Now()
 		submittedTrace := s.cfg.Tracer.NowSeconds()
+		// Flights may outlive this handler (the client can hang up while
+		// waiters remain); the span copy keeps the trace ID valid for the
+		// async child spans, as with simulation jobs.
+		traceRef := *root
 		adm := root.StartChild("admission")
-		accepted := s.pool.TrySubmit(func() {
-			defer close(done)
-			picked := time.Now()
-			queueWait = picked.Sub(submitted)
-			qsp := root.StartChildAt("queue-wait", submittedTrace)
-			qsp.End()
-			esp := root.StartChild("eval")
-			defer esp.End()
-			for _, i := range misses {
-				resp, err := predict(reqs[i])
-				if err != nil {
-					jobErr = fmt.Errorf("request %d: %w", i, err)
-					esp.SetError(jobErr.Error())
-					service = time.Since(picked)
-					return
-				}
-				results[i] = resp
-				s.cache.put(keys[i], resp)
+		shed := false
+		for _, it := range leaders {
+			it.submitted = submitted
+			it.submittedTrace = submittedTrace
+			it.trace = traceRef
+			if !s.batch.enqueue(it) {
+				s.flights.complete(it.key, it.fl, predictOutcome{}, errOverloaded)
+				shed = true
 			}
-			service = time.Since(picked)
-		})
-		if !accepted {
+		}
+		if shed {
 			adm.SetError("queue full")
-			adm.End()
-			s.rejectOverload(w)
-			return
 		}
 		adm.End()
-		<-done
-		if jobErr != nil {
-			writeError(w, http.StatusBadRequest, "%v", jobErr)
-			return
+
+		for _, p := range waits {
+			select {
+			case <-p.fl.done:
+			case <-r.Context().Done():
+				// The client is gone. The flight still completes into the
+				// cache for whoever asks next; there is just no one left
+				// to answer here.
+				return
+			}
+			if err := p.fl.err; err != nil {
+				if errors.Is(err, errOverloaded) {
+					s.rejectOverload(w)
+					return
+				}
+				writeError(w, http.StatusBadRequest, "request %d: %v", p.i, err)
+				return
+			}
+			out := p.fl.val
+			results[p.i] = out.resp
+			singleBody = out.body
+			if out.queueWait > queueWait {
+				queueWait = out.queueWait
+			}
+			if out.service > service {
+				service = out.service
+			}
 		}
 	}
-	w.Header().Set("X-Queue-Seconds", fmt.Sprintf("%.6f", queueWait.Seconds()))
-	w.Header().Set("X-Service-Seconds", fmt.Sprintf("%.6f", service.Seconds()))
+	setSecondsHeader(w, "X-Queue-Seconds", queueWait)
+	setSecondsHeader(w, "X-Service-Seconds", service)
 	enc := root.StartChild("encode")
 	defer enc.End()
 	if batch {
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 		return
 	}
-	writeJSON(w, http.StatusOK, results[0])
+	// Single-point responses reuse the encoded body cached with the
+	// result — byte-identical to encoding results[0] here.
+	writeJSONBytes(w, http.StatusOK, singleBody)
+}
+
+// runBatch dispatches one drained micro-batch as a single worker-pool
+// job. A full pool sheds the whole batch: every flight completes as
+// overloaded and the waiting handlers answer 429.
+func (s *Server) runBatch(items []*evalItem) {
+	s.mBatchJobs.Inc()
+	accepted := s.pool.TrySubmit(func() {
+		picked := time.Now()
+		for _, it := range items {
+			s.evalOne(it, picked)
+		}
+	})
+	if !accepted {
+		for _, it := range items {
+			s.flights.complete(it.key, it.fl, predictOutcome{}, errOverloaded)
+		}
+	}
+}
+
+// evalOne evaluates one coalesced point and completes its flight. The
+// cache is re-checked first: between this item's miss and its dispatch, a
+// completed racer may have published the result (flights clear only
+// after the cache put), and recomputing would waste the win.
+func (s *Server) evalOne(it *evalItem, picked time.Time) {
+	queueWait := picked.Sub(it.submitted)
+	qsp := it.trace.StartChildAt("queue-wait", it.submittedTrace)
+	qsp.End()
+	if v, ok := s.predCache.get(it.key); ok {
+		s.flights.complete(it.key, it.fl, predictOutcome{resp: v.resp, body: v.body, queueWait: queueWait}, nil)
+		return
+	}
+	esp := it.trace.StartChild("eval")
+	t := time.Now()
+	resp, err := predict(it.req)
+	s.mEvals.Inc()
+	if err != nil {
+		esp.SetError(err.Error())
+		esp.End()
+		s.flights.complete(it.key, it.fl, predictOutcome{queueWait: queueWait, service: time.Since(t)}, err)
+		return
+	}
+	esp.End()
+	data, merr := json.Marshal(resp)
+	if merr != nil {
+		// Responses are plain structs of numbers and strings; an encoding
+		// failure is a programming error, not an input error.
+		panic(fmt.Sprintf("serve: encode predict response: %v", merr))
+	}
+	body := append(data, '\n')
+	s.predCache.put(it.key, cachedPredict{resp: resp, body: body})
+	s.flights.complete(it.key, it.fl, predictOutcome{resp: resp, body: body, queueWait: queueWait, service: time.Since(t)}, nil)
 }
 
 // handleSimulate admits one simulation job. Cache hits complete
 // immediately (200, status done, cached true); misses are queued on the
-// worker pool (202) and polled via /v1/jobs/{id}; a full queue is 429.
+// worker pool (202) and polled via /v1/jobs/{id}; a miss identical to an
+// in-flight simulation is coalesced — it gets its own job ID but rides
+// the running evaluation (202, no extra worker); a full queue is 429.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	root := tracez.FromContext(r.Context())
 	reqID := r.Header.Get("X-Request-Id")
@@ -478,12 +628,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canonicalKey("simulate", req)
 	cacheSp := root.StartChild("cache")
-	if v, ok := s.cache.get(key); ok {
+	if v, ok := s.simCache.get(key); ok {
 		s.mCacheHits.Inc()
 		cacheSp.SetAttr("hit", "true")
 		cacheSp.End()
 		job := s.jobs.create(req, reqID)
-		s.jobs.finish(job.ID, v.(SimulateResult), true)
+		s.jobs.finish(job.ID, v, true)
 		job, _ = s.jobs.get(job.ID)
 		writeJSON(w, http.StatusOK, job)
 		return
@@ -492,6 +642,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	cacheSp.SetAttr("hit", "false")
 	cacheSp.End()
 	job := s.jobs.create(req, reqID)
+	if !s.simflight.join(key, job.ID) {
+		// An identical simulation is already running; this job completes
+		// from the leader's result without occupying a worker.
+		s.mJobsCoalesced.Inc()
+		s.mJobsSub.Inc()
+		adm := root.StartChild("admission")
+		adm.SetAttr("coalesced", "true")
+		adm.End()
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
 	submittedTrace := s.cfg.Tracer.NowSeconds()
 	adm := root.StartChild("admission")
 	// The job outlives the handler: its spans hang off the (by then
@@ -503,6 +664,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.jobs.setRunning(job.ID)
 		qsp := traceRef.StartChildAt("queue-wait", submittedTrace)
 		qsp.End()
+		// A fresh leader can race an identical just-finished run (the
+		// flight clears after the cache put); re-checking here turns that
+		// into a free completion instead of a duplicate simulation.
+		if v, ok := s.simCache.get(key); ok {
+			s.jobs.finish(job.ID, v, true)
+			s.mJobsDone.Inc()
+			for _, id := range s.simflight.take(key) {
+				s.jobs.finish(id, v, true)
+				s.mJobsDone.Inc()
+			}
+			return
+		}
 		esp := traceRef.StartChild("eval")
 		res, dump, err := runSimulationGuarded(req, s.cfg.FlightEvents)
 		if err != nil {
@@ -510,19 +683,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			esp.End()
 			s.jobs.fail(job.ID, err.Error())
 			s.mJobsFailed.Inc()
+			for _, id := range s.simflight.take(key) {
+				s.jobs.fail(id, err.Error())
+				s.mJobsFailed.Inc()
+			}
 			s.logSimFailure(job.ID, err, dump)
 			return
 		}
 		esp.End()
-		s.cache.put(key, res)
+		s.simCache.put(key, res)
 		s.jobs.finish(job.ID, res, false)
 		s.mJobsDone.Inc()
+		for _, id := range s.simflight.take(key) {
+			s.jobs.finish(id, res, true)
+			s.mJobsDone.Inc()
+		}
 	})
 	if !accepted {
 		adm.SetError("queue full")
 		adm.End()
 		s.jobs.fail(job.ID, "rejected: queue full")
 		s.mJobsFailed.Inc()
+		for _, id := range s.simflight.take(key) {
+			s.jobs.fail(id, "rejected: queue full")
+			s.mJobsFailed.Inc()
+		}
 		s.rejectOverload(w)
 		return
 	}
@@ -534,12 +719,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // logSimFailure records a failed (typically panicked) simulation with
 // its flight-recorder dump — the engine's black box for post-mortems.
 func (s *Server) logSimFailure(jobID string, err error, dump string) {
-	if s.cfg.AccessLog == nil {
+	if s.log == nil {
 		return
 	}
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	_, _ = fmt.Fprintf(s.cfg.AccessLog, "job=%s simulation_failed error=%q\n%s", jobID, err, dump)
+	s.log.append(fmt.Appendf(nil, "job=%s simulation_failed error=%q\n%s", jobID, err, dump))
 }
 
 // handleJob serves one job's current state.

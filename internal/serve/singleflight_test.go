@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pftk/internal/obs"
+)
+
+// TestSingleflightCoalescesIdenticalPredicts proves the K→1 property:
+// K concurrent identical single-point predicts perform exactly one model
+// evaluation. Every non-leader either joined the leader's flight (the
+// coalesce counter) or arrived after completion and hit the cache; the
+// responses are byte-identical either way.
+func TestSingleflightCoalescesIdenticalPredicts(t *testing.T) {
+	const k = 16
+	reg := obs.New()
+	// The batch window holds the leader's evaluation open long enough
+	// that concurrently released requests join its flight rather than
+	// racing it; correctness does not depend on the timing, only the
+	// coalesced/hit split does.
+	s := New(Config{Workers: 2, QueueDepth: 64, BatchWait: 100 * time.Millisecond, Registry: reg})
+	defer s.Close()
+
+	const body = `{"p":0.02,"rtt":0.2,"t0":2.0,"wm":12}`
+	var (
+		start  = make(chan struct{})
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies []string
+	)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d: %s", rec.Code, rec.Body)
+				return
+			}
+			bodies = append(bodies, rec.Body.String())
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if evals := snap.Counter("serve.predict.evals"); evals != 1 {
+		t.Errorf("serve.predict.evals = %d, want exactly 1 for %d identical requests", evals, k)
+	}
+	hits := snap.Counter("serve.cache.hits")
+	coalesced := snap.Counter("serve.predict.coalesced")
+	if hits+coalesced != k-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d non-leaders accounted for",
+			hits, coalesced, hits+coalesced, k-1)
+	}
+	if len(bodies) != k {
+		t.Fatalf("got %d successful responses, want %d", len(bodies), k)
+	}
+	for i, b := range bodies {
+		if b != bodies[0] {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, b, bodies[0])
+		}
+	}
+}
+
+// TestFlightGroupLateJoinerBecomesLeader pins the table contract that
+// completion removes the entry: a joiner arriving afterwards must lead a
+// fresh flight (and will find the cache warm instead of re-evaluating —
+// see Server.evalOne).
+func TestFlightGroupLateJoinerBecomesLeader(t *testing.T) {
+	g := newFlightGroup[int]()
+	key := testKey(1)
+	f1, leader := g.join(key)
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	if _, leader := g.join(key); leader {
+		t.Fatal("second join while in flight must not lead")
+	}
+	g.complete(key, f1, 42, nil)
+	select {
+	case <-f1.done:
+	default:
+		t.Fatal("complete did not release waiters")
+	}
+	if v := f1.val; v != 42 {
+		t.Fatalf("flight value %d, want 42", v)
+	}
+	if _, leader := g.join(key); !leader {
+		t.Fatal("join after completion must lead a fresh flight")
+	}
+}
+
+// TestSimulateCoalescingSharesOneRun submits K identical simulations
+// concurrently: every request gets its own job ID and every job reaches
+// done, but only one simulation executes — the rest ride the leader's
+// run (serve.jobs.coalesced) or hit the result cache.
+func TestSimulateCoalescingSharesOneRun(t *testing.T) {
+	const k = 8
+	reg := obs.New()
+	s := New(Config{Workers: 1, QueueDepth: 16, Registry: reg})
+	defer s.Close()
+
+	const body = `{"rtt":0.1,"loss_rate":0.02,"duration":2.0,"seed":7}`
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		ids   []string
+	)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+				t.Errorf("status %d: %s", rec.Code, rec.Body)
+				return
+			}
+			var job struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+				t.Errorf("decode job: %v", err)
+				return
+			}
+			ids = append(ids, job.ID)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Drain: every job must reach a terminal, successful state.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, id := range ids {
+		for {
+			req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			var job struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+				t.Fatalf("decode job %s: %v", id, err)
+			}
+			if job.Status == "done" {
+				break
+			}
+			if job.Status == "failed" {
+				t.Fatalf("job %s failed", id)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, job.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	snap := reg.Snapshot()
+	coalesced := snap.Counter("serve.jobs.coalesced")
+	hits := snap.Counter("serve.cache.hits")
+	if coalesced+hits != k-1 {
+		t.Errorf("coalesced (%d) + cache hits (%d) = %d, want %d riders", coalesced, hits, coalesced+hits, k-1)
+	}
+	// Cache hits complete without ever entering the queue, so only the
+	// leader and its coalesced waiters count as completed jobs.
+	if done := snap.Counter("serve.jobs.completed"); done != 1+coalesced {
+		t.Errorf("serve.jobs.completed = %d, want %d (leader + coalesced)", done, 1+coalesced)
+	}
+}
